@@ -1,0 +1,69 @@
+"""SCALE -- one end-to-end run at the largest size the wall clock allows.
+
+Not a paper artifact: a regression guard that the whole stack (ternary ->
+contraction -> CPT -> Algorithm 2) stays usable at n = 16384 with mixed
+batch sizes, and that per-edge work stays flat as the structure grows (the
+amortized claim behind "work-efficient").
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import format_table
+from repro.core import BatchIncrementalMSF
+from repro.runtime import CostModel, measure
+
+N = 16384
+TOTAL_EDGES = 3 * N
+
+
+def test_end_to_end_scale(record_table, benchmark):
+    def run():
+        rng = random.Random(2024)
+        cost = CostModel()
+        m = BatchIncrementalMSF(N, seed=2024, cost=cost)
+        phases = []
+        inserted = 0
+        batch_sizes = [64, 512, 4096]
+        while inserted < TOTAL_EDGES:
+            ell = batch_sizes[len(phases) % len(batch_sizes)]
+            batch = []
+            for _ in range(ell):
+                u, v = rng.randrange(N), rng.randrange(N)
+                if u != v:
+                    batch.append((u, v, rng.random()))
+            with measure(cost) as c:
+                m.batch_insert(batch)
+            inserted += len(batch)
+            phases.append((ell, c.work / max(len(batch), 1)))
+        return m, phases
+
+    m, phases = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert m.num_msf_edges <= N - 1
+    assert m.num_components >= 1
+
+    # Per-edge work rises from the cheap empty-forest warmup to a steady
+    # state and must then stay flat (no degradation as the forest fills).
+    by_ell: dict[int, list[float]] = {}
+    for ell, per_edge in phases:
+        by_ell.setdefault(ell, []).append(per_edge)
+    rows = []
+    for ell, samples in sorted(by_ell.items()):
+        steady = samples[len(samples) // 3 :]  # past the warmup
+        mid = sorted(steady)[len(steady) // 2]
+        rows.append(
+            [ell, f"{samples[0]:.1f}", f"{mid:.1f}", f"{steady[-1]:.1f}", len(samples)]
+        )
+        assert steady[-1] < 2.0 * mid + 25, (
+            f"per-edge work at l={ell} degraded past its steady state"
+        )
+    record_table(
+        "scale_end_to_end",
+        format_table(
+            ["batch size", "warmup", "steady median", "final", "phases"],
+            rows,
+            title=f"Scale run: {TOTAL_EDGES} edges into n = {N} "
+            f"({m.num_msf_edges} MSF edges, {m.num_components} components)",
+        ),
+    )

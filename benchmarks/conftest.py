@@ -1,0 +1,28 @@
+"""Shared benchmark helpers.
+
+Each benchmark regenerates one artifact of the paper (a Table 1 row, a
+figure, or a theorem's scaling claim).  Work/span come from the simulated
+PRAM cost model (see DESIGN.md substitution 1); pytest-benchmark adds
+wall-clock as a secondary signal.  Every harness writes its paper-style
+table to ``bench_results/<name>.txt`` so EXPERIMENTS.md can cite it, and
+prints it (visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n[saved to bench_results/{name}.txt]")
+
+    return _record

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: the batch-incremental MSF in five minutes.
+
+Builds a minimum spanning forest over a small road-network-like graph,
+inserts edge batches (watching cheaper edges evict expensive ones), runs
+connectivity and heaviest-edge queries, and peeks at the compressed path
+tree -- the paper's key ingredient.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import BatchIncrementalMSF
+from repro.runtime import CostModel
+
+
+def main() -> None:
+    # A 10-vertex graph; think of vertices as towns and weights as road cost.
+    cost = CostModel()
+    msf = BatchIncrementalMSF(n=10, cost=cost)
+
+    print("== batch 1: a first wave of roads ==")
+    report = msf.batch_insert(
+        [
+            (0, 1, 4.0),
+            (1, 2, 8.0),
+            (2, 3, 7.0),
+            (3, 4, 9.0),
+            (0, 5, 11.0),
+            (5, 6, 2.0),
+            (6, 7, 6.0),
+        ]
+    )
+    print(f"  inserted {len(report.inserted)} edges, "
+          f"total weight {msf.total_weight():.1f}, "
+          f"{msf.num_components} components")
+
+    print("== batch 2: cheaper shortcuts arrive (batch insertion) ==")
+    report = msf.batch_insert(
+        [
+            (1, 5, 1.0),   # cheap: will join the forest
+            (2, 6, 3.0),   # cheap: may evict something expensive
+            (0, 2, 30.0),  # expensive: closes a cycle, rejected
+            (7, 8, 5.0),
+            (8, 9, 5.5),
+        ]
+    )
+    print(f"  inserted: {[(u, v, w) for u, v, w, _ in report.inserted]}")
+    print(f"  evicted : {[(u, v, w) for u, v, w, _ in report.evicted]}")
+    print(f"  rejected: {[(u, v, w) for u, v, w, _ in report.rejected]}")
+    print(f"  total weight now {msf.total_weight():.1f}")
+
+    print("== queries ==")
+    print(f"  connected(0, 9)  = {msf.connected(0, 9)}")
+    heaviest = msf.heaviest_edge(0, 9)
+    print(f"  heaviest edge on the MSF path 0..9 = weight {heaviest[0]:.1f} "
+          f"(edge id {heaviest[1]})")
+
+    print("== the compressed path tree (Section 3) ==")
+    cpt = msf.forest.compressed_path_tree([0, 4, 9])
+    print(f"  marked {{0, 4, 9}} -> CPT on vertices {cpt.vertices}")
+    for a, b, w, eid in cpt.edges:
+        print(f"    {a} -- {b}: heaviest weight {w:.1f} (edge id {eid})")
+
+    print("== simulated PRAM cost of everything above ==")
+    print(f"  work = {cost.work}, span = {cost.span}")
+
+
+if __name__ == "__main__":
+    main()

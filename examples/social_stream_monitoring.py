@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Sliding-window monitoring of a social interaction stream.
+
+Scenario (the kind of workload the paper's introduction motivates): a
+service receives a stream of "user A interacted with user B" events and
+wants, over the **last hour only**, to answer:
+
+- are two users in the same interaction community? (SW connectivity)
+- how many communities are there right now? (numComponents, O(1))
+- does the two-sided marketplace interaction graph stay bipartite
+  (buyers <-> sellers), and when do buyer-buyer deals appear?
+
+Events are synthesized with a planted community structure; each round
+inserts a batch and expires everything older than the window.
+
+Run:  python examples/social_stream_monitoring.py
+"""
+
+import random
+
+from repro.sliding_window import SWBipartiteness, SWConnectivityEager
+
+USERS = 200
+COMMUNITIES = 4
+WINDOW = 300  # keep the last 300 events
+ROUNDS = 20
+BATCH = 60
+
+
+def community_of(u: int) -> int:
+    return u % COMMUNITIES
+
+
+def make_batch(rng: random.Random, cross_rate: float) -> list[tuple[int, int]]:
+    """Mostly intra-community events; a few cross-community bridges."""
+    out = []
+    for _ in range(BATCH):
+        if rng.random() < cross_rate:
+            u, v = rng.randrange(USERS), rng.randrange(USERS)
+        else:
+            c = rng.randrange(COMMUNITIES)
+            u = rng.randrange(USERS // COMMUNITIES) * COMMUNITIES + c
+            v = rng.randrange(USERS // COMMUNITIES) * COMMUNITIES + c
+        if u != v:
+            out.append((u, v))
+    return out
+
+
+def main() -> None:
+    rng = random.Random(42)
+    conn = SWConnectivityEager(USERS, seed=1)
+    market = SWBipartiteness(USERS, seed=2)
+
+    live = 0
+    print(f"{'round':>5} | {'window':>6} | {'communities':>11} | "
+          f"{'0~1 same?':>9} | {'bipartite':>9}")
+    for r in range(ROUNDS):
+        # Bridges appear in the middle of the run, then fade out.
+        cross = 0.2 if 6 <= r < 12 else 0.0
+        batch = make_batch(rng, cross)
+
+        # Marketplace stream: even ids are buyers, odd ids sellers; a
+        # buyer-buyer event sneaks in while bridges are active.
+        bip_batch = [(u - u % 2, v - v % 2 + 1) for u, v in batch]
+        if cross:
+            bip_batch.append((0, 2))  # buyer-buyer deal
+
+        conn.batch_insert(batch)
+        market.batch_insert(bip_batch)
+        live += len(batch)
+        if live > WINDOW:
+            conn.batch_expire(live - WINDOW)
+            live = WINDOW
+        mlive = market.window_size
+        if mlive > WINDOW:
+            market.batch_expire(mlive - WINDOW)
+
+        print(
+            f"{r:>5} | {conn.window_size:>6} | {conn.num_components:>11} | "
+            f"{str(conn.is_connected(0, 1)):>9} | "
+            f"{str(market.is_bipartite()):>9}"
+        )
+
+    print("\nInterpretation: while bridge events are in the window the")
+    print("communities merge (count drops, 0~1 connect) and buyer-buyer")
+    print("deals break bipartiteness; once they expire, both recover --")
+    print("no rescan of history needed (Theorems 5.2 and 5.3).")
+
+
+if __name__ == "__main__":
+    main()

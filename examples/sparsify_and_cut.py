@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Cut sparsification of a dense sliding window (Theorem 5.8).
+
+Scenario: a stream of co-occurrence edges arrives far too fast to store;
+we keep the sliding-window sparsifier (O(n polylog n) space) and, on
+demand, produce a weighted subgraph whose cuts approximate the window's.
+We validate the output here against the (small, so storable) ground truth:
+random cuts and the global minimum cut.
+
+Run:  python examples/sparsify_and_cut.py
+"""
+
+import random
+
+from repro.mincut import global_min_cut
+from repro.sliding_window import SWSparsifier
+
+N = 32
+ROUNDS = 6
+BATCH = 120
+WINDOW = 400
+
+
+def cut_weight(edges, s, weighted=False):
+    if weighted:
+        return sum(w for u, v, w in edges if (u in s) != (v in s))
+    return sum(1 for u, v in edges if (u in s) != (v in s))
+
+
+def main() -> None:
+    rng = random.Random(11)
+    sp = SWSparsifier(N, eps=1.0, seed=5)
+    window: list[tuple[int, int]] = []
+
+    for r in range(ROUNDS):
+        batch = []
+        for _ in range(BATCH):
+            u, v = rng.randrange(N), rng.randrange(N)
+            if u != v:
+                batch.append((u, v))
+        sp.batch_insert(batch)
+        window.extend(batch)
+        if len(window) > WINDOW:
+            expire = len(window) - WINDOW
+            sp.batch_expire(expire)
+            del window[:expire]
+        print(f"round {r}: window holds {len(window)} edges "
+              f"({sp.num_instances} sub-structures maintained)")
+
+    sparsifier = sp.sparsify()
+    total_w = sum(w for _, _, w in sparsifier)
+    print(f"\nsparsifier: {len(sparsifier)} weighted edges standing in for "
+          f"{len(window)} (total weight {total_w:.0f})")
+
+    print("\nrandom cut comparison (window vs sparsifier):")
+    print(f"{'cut |S|':>8} | {'exact':>6} | {'sparsified':>10} | ratio")
+    for _ in range(6):
+        s = set(rng.sample(range(N), rng.randrange(2, N - 1)))
+        exact = cut_weight(window, s)
+        approx = cut_weight(sparsifier, s, weighted=True)
+        ratio = approx / exact if exact else float("nan")
+        print(f"{len(s):>8} | {exact:>6} | {approx:>10.0f} | {ratio:.2f}")
+
+    exact_mc = global_min_cut(N, window)
+    approx_mc = global_min_cut(N, sparsifier)
+    print(f"\nglobal min cut: exact {exact_mc:.0f}, on sparsifier "
+          f"{approx_mc:.0f} (ratio {approx_mc / max(exact_mc, 1):.2f})")
+    print("With the paper's full polylog constants the ratios concentrate")
+    print("in [1-eps, 1+eps]; this demo runs the reduced-constant defaults.")
+
+
+if __name__ == "__main__":
+    main()

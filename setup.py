@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets `pip install -e . --no-use-pep517` work on
+environments whose setuptools lacks the `wheel` package (offline installs).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,11 @@
+"""Analysis helpers: fitting measured work to the paper's bounds, and
+paper-style table rendering for the benchmark harness."""
+
+from repro.analysis.fitting import (
+    BOUND_MODELS,
+    fit_constant,
+    goodness_of_fit,
+)
+from repro.analysis.tables import format_table
+
+__all__ = ["fit_constant", "goodness_of_fit", "BOUND_MODELS", "format_table"]

@@ -1,0 +1,83 @@
+"""Least-squares fits of measured work/span against the paper's bounds.
+
+Reproducing a theory paper means checking the *shape* of each bound: we
+measure work ``y_i`` at parameters ``x_i``, fit the single constant ``c`` in
+``y ~ c * f(x)`` for the claimed ``f``, and report the relative residual.
+A good fit (low residual) for the claimed model, and a visibly worse fit
+for the naive alternatives (e.g. ``l * lg n`` or ``n`` instead of
+``l * lg(1 + n/l)``), is the reproduction criterion in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+# The bound shapes appearing in Table 1 / Theorems 1.1, 3.2, 4.2.
+BOUND_MODELS: dict[str, Callable[..., float]] = {
+    "l*lg(1+n/l)": lambda ell, n: ell * math.log2(1.0 + n / ell),
+    "l*lg(n)": lambda ell, n: ell * math.log2(max(n, 2)),
+    "l": lambda ell, n: float(ell),
+    "n": lambda ell, n: float(n),
+    "l*alpha(n)": lambda ell, n: ell * _alpha(n),
+    "lg^2(n)": lambda ell, n: math.log2(max(n, 2)) ** 2,
+}
+
+
+def _alpha(n: float) -> float:
+    """A practical stand-in for the inverse Ackermann function."""
+    if n < 5:
+        return 1.0
+    if n < 2**4:
+        return 2.0
+    if n < 2**16:
+        return 3.0
+    return 4.0
+
+
+def fit_constant(
+    xs: Sequence[tuple],
+    ys: Sequence[float],
+    model: Callable[..., float],
+) -> float:
+    """Best least-squares ``c`` for ``y ~ c * model(*x)``."""
+    f = np.array([model(*x) for x in xs], dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    denom = float(f @ f)
+    if denom == 0:
+        raise ValueError("model is identically zero on the sample")
+    return float((f @ y) / denom)
+
+
+def goodness_of_fit(
+    xs: Sequence[tuple],
+    ys: Sequence[float],
+    model: Callable[..., float],
+) -> tuple[float, float]:
+    """Fit ``c`` and return ``(c, relative RMS residual)``.
+
+    The residual is ``||y - c f|| / ||y||``; 0 is a perfect fit, and values
+    near 1 mean the model explains nothing.
+    """
+    c = fit_constant(xs, ys, model)
+    f = np.array([model(*x) for x in xs], dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    norm = float(np.linalg.norm(y))
+    if norm == 0:
+        return c, 0.0
+    return c, float(np.linalg.norm(y - c * f) / norm)
+
+
+def best_model(
+    xs: Sequence[tuple], ys: Sequence[float], names: Sequence[str] | None = None
+) -> tuple[str, float, float]:
+    """The BOUND_MODELS entry with the lowest relative residual."""
+    names = list(names) if names is not None else list(BOUND_MODELS)
+    scored = []
+    for name in names:
+        c, resid = goodness_of_fit(xs, ys, BOUND_MODELS[name])
+        scored.append((resid, name, c))
+    resid, name, c = min(scored)
+    return name, c, resid

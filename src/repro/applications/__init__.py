@@ -1,0 +1,21 @@
+"""Applications of the batch-incremental MSF beyond Section 5.
+
+The paper's conclusion invites "other applications of our batch-incremental
+MST algorithm, or possibly even the compressed path tree by itself"; this
+package provides two classical ones that fall out directly:
+
+- :class:`SingleLinkageClustering` -- incremental single-linkage (the
+  dendrogram *is* the MSF): batch-insert similarity edges, then query
+  cluster membership, merge distances and cluster counts at any threshold
+  in O(lg n).
+- :class:`BottleneckPaths` / :class:`WidestPaths` -- minimax and maximin
+  path queries under batch edge insertion, via the textbook fact that the
+  minimax path value between two vertices equals the heaviest edge on
+  their minimum-spanning-tree path (and dually for widest paths on the
+  maximum spanning tree).
+"""
+
+from repro.applications.single_linkage import SingleLinkageClustering
+from repro.applications.paths import BottleneckPaths, WidestPaths
+
+__all__ = ["SingleLinkageClustering", "BottleneckPaths", "WidestPaths"]

@@ -1,0 +1,111 @@
+"""Minimax (bottleneck) and maximin (widest) path queries under batch
+edge insertion.
+
+Textbook facts driving both structures:
+
+- The *minimax* path value between ``u`` and ``v`` (minimize, over all
+  paths, the maximum edge weight) equals the heaviest edge on their
+  **minimum** spanning tree path.
+- Dually, the *maximin* / widest-path value (maximize the minimum edge --
+  e.g. the best guaranteed bandwidth of a route) equals the lightest edge
+  on their **maximum** spanning tree path, which we maintain by negating
+  weights in a second batch-incremental MSF.
+
+Both therefore inherit Theorem 1.1's bounds: batches of ``l`` edges in
+``O(l lg(1 + n/l))`` expected work, queries in ``O(lg n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.batch_msf import BatchIncrementalMSF
+from repro.runtime.cost import CostModel
+
+
+class BottleneckPaths:
+    """Minimax path values over a growing graph.
+
+    ``bottleneck(u, v)`` is the smallest ``B`` such that ``u`` and ``v``
+    are connected using only edges of weight <= ``B`` -- the quantity that
+    matters when edge weight is a cost ceiling (max grade on a route, max
+    latency of a hop, ...).
+    """
+
+    def __init__(
+        self, n: int, seed: int = 0x5EED, cost: CostModel | None = None
+    ) -> None:
+        self.n = n
+        self.cost = cost if cost is not None else CostModel()
+        self._msf = BatchIncrementalMSF(n, seed=seed, cost=self.cost)
+
+    def batch_insert(self, edges: Iterable[Sequence]) -> None:
+        """Insert edges ``(u, v, w)``; ``O(l lg(1 + n/l))`` expected work."""
+        self._msf.batch_insert(edges)
+
+    def bottleneck(self, u: int, v: int) -> tuple[float, int] | None:
+        """The minimax value and the edge realising it, or ``None`` if
+        disconnected (``(-inf, -1)`` for ``u == v``); O(lg n)."""
+        if u == v:
+            return (float("-inf"), -1)
+        return self._msf.heaviest_edge(u, v)
+
+    def reachable_within(self, u: int, v: int, bound: float) -> bool:
+        """Whether a ``u``-``v`` path exists with every edge <= ``bound``."""
+        b = self.bottleneck(u, v)
+        return b is not None and b[0] <= bound
+
+    @property
+    def num_components(self) -> int:
+        """Connected components of the inserted graph."""
+        return self._msf.num_components
+
+
+class WidestPaths:
+    """Maximin (widest) path values: the best guaranteed capacity of any
+    route between two vertices.
+
+    Maintained as a minimum spanning forest over negated capacities (a
+    maximum spanning forest of the capacities), so the widest-path value is
+    the negated heaviest edge on the stored path.
+    """
+
+    def __init__(
+        self, n: int, seed: int = 0x5EED, cost: CostModel | None = None
+    ) -> None:
+        self.n = n
+        self.cost = cost if cost is not None else CostModel()
+        self._msf = BatchIncrementalMSF(n, seed=seed, cost=self.cost)
+
+    def batch_insert(self, edges: Iterable[Sequence]) -> None:
+        """Insert capacity edges ``(u, v, capacity)``."""
+        rows = []
+        for row in edges:
+            if len(row) == 3:
+                u, v, c = row
+                rows.append((u, v, -float(c)))
+            else:
+                u, v, c, eid = row
+                rows.append((u, v, -float(c), eid))
+        self._msf.batch_insert(rows)
+
+    def widest_path(self, u: int, v: int) -> tuple[float, int] | None:
+        """The maximin capacity and the edge realising it, or ``None`` if
+        disconnected (``(inf, -1)`` for ``u == v``); O(lg n)."""
+        if u == v:
+            return (float("inf"), -1)
+        heaviest = self._msf.heaviest_edge(u, v)
+        if heaviest is None:
+            return None
+        neg_c, eid = heaviest
+        return (-neg_c, eid)
+
+    def supports_demand(self, u: int, v: int, demand: float) -> bool:
+        """Whether some route carries at least ``demand`` end to end."""
+        w = self.widest_path(u, v)
+        return w is not None and w[0] >= demand
+
+    @property
+    def num_components(self) -> int:
+        """Connected components of the inserted graph."""
+        return self._msf.num_components

@@ -1,0 +1,29 @@
+"""Parallel connected components and incremental connectivity.
+
+This package provides the incremental-model substrate of Section 5.7: the
+work-efficient parallel batched union-find of Simsiri et al. [46], whose
+batch insertion runs finds on the endpoints and then a Gazit-style
+randomized star-contraction connected-components pass [26] over the root
+graph.  The spanning edges that the components pass returns are exactly the
+new spanning forest edges, which yields the incremental analog of
+Theorem 5.2 (``numComponents`` in O(1)).
+"""
+
+from repro.connectivity.components import connected_components, spanning_forest
+from repro.connectivity.batch_uf import BatchUnionFind
+from repro.connectivity.incremental import (
+    IncrementalBipartiteness,
+    IncrementalConnectivity,
+    IncrementalCycleFree,
+    IncrementalKCertificate,
+)
+
+__all__ = [
+    "connected_components",
+    "spanning_forest",
+    "BatchUnionFind",
+    "IncrementalConnectivity",
+    "IncrementalBipartiteness",
+    "IncrementalCycleFree",
+    "IncrementalKCertificate",
+]

@@ -1,0 +1,117 @@
+"""Randomized star-contraction connected components (Gazit-style).
+
+Each round, vertices flip a coin; every *tail* vertex with at least one
+*head* neighbour hooks onto one, forming stars that are contracted by
+pointer jumping.  A constant fraction of the live edges disappears per
+round in expectation, giving ``O(m)`` expected work and ``O(lg n)`` rounds
+-- the structure of Gazit's optimal randomized CC algorithm [26] that
+Simsiri et al. [46] run over union-find roots.
+
+:func:`spanning_forest` additionally reports, per hook, the edge that
+realised it; those edges form a spanning forest of the input (what the
+incremental-connectivity layer appends to its forest edge list).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.cost import CostModel, log2ceil
+from repro.runtime.hashing import splitmix64
+
+
+def _coins(vertices: np.ndarray, salt: int) -> np.ndarray:
+    """Vectorized splitmix64 coin flips (uint64 arithmetic wraps mod 2^64)."""
+    x = vertices.astype(np.uint64) * np.uint64(0x100000001B3)
+    x ^= np.uint64(salt)
+    x += np.uint64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return (x & np.uint64(1)).astype(bool)
+
+
+def connected_components(
+    n: int,
+    us: np.ndarray,
+    vs: np.ndarray,
+    seed: int = 0xCC,
+    cost: CostModel | None = None,
+) -> np.ndarray:
+    """Component labels (smallest reachable root id per component not
+    guaranteed; labels are representative vertex ids).
+
+    Expected ``O(n + m)`` work, ``O(lg n)`` span w.h.p.
+    """
+    labels, _ = _star_contraction(n, us, vs, seed, cost)
+    return labels
+
+
+def spanning_forest(
+    n: int,
+    us: np.ndarray,
+    vs: np.ndarray,
+    seed: int = 0xCC,
+    cost: CostModel | None = None,
+) -> np.ndarray:
+    """Positions of an (arbitrary) spanning forest of the input edges.
+
+    Expected ``O(n + m)`` work, ``O(lg n)`` span w.h.p.
+    """
+    _, forest_pos = _star_contraction(n, us, vs, seed, cost)
+    forest_pos.sort()
+    return forest_pos
+
+
+def _star_contraction(
+    n: int,
+    us: np.ndarray,
+    vs: np.ndarray,
+    seed: int,
+    cost: CostModel | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    us = np.asarray(us, dtype=np.int64)
+    vs = np.asarray(vs, dtype=np.int64)
+    m = us.shape[0]
+    comp = np.arange(n, dtype=np.int64)
+    chosen: list[int] = []
+    if m == 0:
+        return comp, np.empty(0, dtype=np.int64)
+
+    live = np.nonzero(us != vs)[0]
+    round_ = 0
+    lg = log2ceil(max(n, 2))
+    while live.size:
+        cu = comp[us[live]]
+        cv = comp[vs[live]]
+        cross = cu != cv
+        live = live[cross]
+        if live.size == 0:
+            break
+        cu, cv = cu[cross], cv[cross]
+        if cost is not None:
+            cost.add(work=int(live.size), span=lg)
+
+        salt = splitmix64(seed ^ round_)
+        verts = np.unique(np.concatenate([cu, cv]))
+        heads = np.zeros(n, dtype=bool)
+        heads[verts] = _coins(verts, salt)
+
+        # Tail endpoints hook onto head endpoints (arbitrary CRCW write wins).
+        hook = np.arange(n, dtype=np.int64)
+        hook_edge = np.full(n, -1, dtype=np.int64)
+        tail_u = ~heads[cu] & heads[cv]
+        hook[cu[tail_u]] = cv[tail_u]
+        hook_edge[cu[tail_u]] = live[tail_u]
+        tail_v = ~heads[cv] & heads[cu]
+        hook[cv[tail_v]] = cu[tail_v]
+        hook_edge[cv[tail_v]] = live[tail_v]
+
+        hooked = np.nonzero(hook_edge >= 0)[0]
+        chosen.extend(int(e) for e in hook_edge[hooked])
+        comp = hook[comp]  # stars have depth 1: a single jump contracts them
+        round_ += 1
+        if round_ > 4 * lg + 64:  # pragma: no cover - probabilistic safety
+            raise RuntimeError("star contraction failed to converge")
+
+    return comp, np.asarray(chosen, dtype=np.int64)

@@ -1,0 +1,169 @@
+"""Incremental (insert-only) analogs of the sliding-window structures.
+
+Section 5.7 observes that replacing the MSF-based connectivity structure by
+the batched union-find of Simsiri et al. turns the ``lg(1 + n/l)`` factor of
+every application into ``alpha(n)`` in the incremental setting (Table 1,
+first column).  This module provides those analogs:
+
+- :class:`IncrementalConnectivity` -- Theorem 5.2 analog: ``numComponents``
+  in O(1), spanning-forest edge list maintained on the side.
+- :class:`IncrementalBipartiteness` -- cycle double cover over two
+  connectivity structures.
+- :class:`IncrementalCycleFree` -- a cycle exists iff some insert closed one.
+- :class:`IncrementalKCertificate` -- k cascading spanning forests,
+  ``O(k l alpha(n))`` work per batch.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.connectivity.batch_uf import BatchUnionFind
+from repro.runtime.cost import CostModel
+
+
+class IncrementalConnectivity:
+    """Insert-only connectivity: ``O(l alpha(n))`` expected work per batch."""
+
+    def __init__(self, n: int, seed: int = 0xCC, cost: CostModel | None = None) -> None:
+        self.n = n
+        self.cost = cost if cost is not None else CostModel(enabled=False)
+        self._uf = BatchUnionFind(n, seed=seed, cost=self.cost)
+        self.forest_edges: list[tuple[int, int]] = []
+
+    def batch_insert(self, edges: Sequence[tuple[int, int]]) -> list[tuple[int, int]]:
+        """Insert edges; returns those that extended the spanning forest."""
+        if not edges:
+            return []
+        us = np.fromiter((e[0] for e in edges), dtype=np.int64, count=len(edges))
+        vs = np.fromiter((e[1] for e in edges), dtype=np.int64, count=len(edges))
+        pos = self._uf.batch_union(us, vs)
+        new = [(int(us[p]), int(vs[p])) for p in pos]
+        self.forest_edges.extend(new)
+        return new
+
+    def is_connected(self, u: int, v: int) -> bool:
+        """O(alpha(n)) work and span."""
+        return self._uf.connected(u, v)
+
+    @property
+    def num_components(self) -> int:
+        """O(1) worst-case."""
+        return self._uf.num_components
+
+
+class IncrementalBipartiteness:
+    """Insert-only bipartiteness via the cycle double cover reduction.
+
+    ``G`` is bipartite iff its double cover ``D(G)`` has exactly twice as
+    many components (Section 5.2); both are tracked with union-find.
+    """
+
+    def __init__(self, n: int, seed: int = 0xCC, cost: CostModel | None = None) -> None:
+        self.n = n
+        self.cost = cost if cost is not None else CostModel(enabled=False)
+        self._g = IncrementalConnectivity(n, seed=seed, cost=self.cost)
+        self._cover = IncrementalConnectivity(2 * n, seed=seed + 1, cost=self.cost)
+
+    def batch_insert(self, edges: Sequence[tuple[int, int]]) -> None:
+        """Insert edges into the graph and its double cover."""
+        self._g.batch_insert(edges)
+        cover_edges = []
+        for u, v in edges:
+            cover_edges.append((u, self.n + v))
+            cover_edges.append((self.n + u, v))
+        self._cover.batch_insert(cover_edges)
+
+    def is_bipartite(self) -> bool:
+        """O(1) worst-case work and span.
+
+        Isolated vertices of G contribute two isolated cover vertices each,
+        so the doubling criterion holds verbatim with both counts including
+        singletons.
+        """
+        return self._cover.num_components == 2 * self._g.num_components
+
+
+class IncrementalCycleFree:
+    """Insert-only cycle detection: a cycle appears exactly when an edge
+    arrives whose endpoints are already connected."""
+
+    def __init__(self, n: int, seed: int = 0xCC, cost: CostModel | None = None) -> None:
+        self.cost = cost if cost is not None else CostModel(enabled=False)
+        self._conn = IncrementalConnectivity(n, seed=seed, cost=self.cost)
+        self._edges_seen = 0
+
+    def batch_insert(self, edges: Sequence[tuple[int, int]]) -> None:
+        """Insert edges; O(l alpha(n)) expected work."""
+        # Self-loops count as cycles: they are tallied in _edges_seen but
+        # can never enter the forest, so has_cycle() stays true afterwards.
+        real = [(u, v) for u, v in edges if u != v]
+        self._edges_seen += len(edges)
+        self._conn.batch_insert(real)
+
+    def has_cycle(self) -> bool:
+        """O(1): edges beyond the spanning forest certify a cycle."""
+        return self._edges_seen > len(self._conn.forest_edges)
+
+
+class IncrementalKCertificate:
+    """Insert-only k-certificate: k cascading maximal spanning forests.
+
+    Each arriving edge is placed in the first forest ``F_i`` where it does
+    not close a cycle; edges falling off the end are discarded.  The union
+    of the forests preserves all cuts of size <= k (properties P1-P3).
+    ``O(k l alpha(n))`` expected work per batch.
+    """
+
+    def __init__(
+        self, n: int, k: int, seed: int = 0xCC, cost: CostModel | None = None
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.n = n
+        self.k = k
+        self.cost = cost if cost is not None else CostModel(enabled=False)
+        self._forests = [
+            IncrementalConnectivity(n, seed=seed + i, cost=self.cost)
+            for i in range(k)
+        ]
+
+    def batch_insert(self, edges: Sequence[tuple[int, int]]) -> None:
+        """Insert edges, cascading replacements through the k forests."""
+        overflow = [(u, v) for u, v in edges if u != v]
+        for forest in self._forests:
+            if not overflow:
+                break
+            kept = set(
+                map(tuple, forest.batch_insert(overflow))
+            )
+            # Edges not kept cascade; batch duplicates may repeat pairs, so
+            # match by position rather than value.
+            nxt = []
+            remaining_kept = set(kept)
+            for e in overflow:
+                if e in remaining_kept:
+                    remaining_kept.discard(e)
+                else:
+                    nxt.append(e)
+            overflow = nxt
+
+    def certificate(self) -> list[tuple[int, int]]:
+        """The union of the k forests: at most ``k (n - 1)`` edges."""
+        out: list[tuple[int, int]] = []
+        for f in self._forests:
+            out.extend(f.forest_edges)
+        return out
+
+    def connectivity_lower_bound(self, u: int, v: int) -> int:
+        """Largest ``i`` with ``u, v`` connected in ``F_i`` (property P1:
+        they are then at least i-connected in G)."""
+        bound = 0
+        for i, f in enumerate(self._forests, start=1):
+            if f.is_connected(u, v):
+                bound = i
+            else:
+                break
+        return bound

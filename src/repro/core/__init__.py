@@ -1,0 +1,36 @@
+"""The paper's primary contribution.
+
+- :func:`compressed_path_tree` / :class:`CompressedPathTree` -- Section 3:
+  the summary tree of all pairwise heaviest-edge queries between marked
+  vertices (re-exported from :mod:`repro.trees.cpt`, where it lives next to
+  the RC-tree machinery it traverses).
+- :class:`BatchIncrementalMSF` -- Section 4, Algorithm 2: the first
+  work-efficient parallel batch-incremental minimum spanning forest,
+  inserting ``l`` edges in ``O(l lg(1 + n/l))`` expected work and
+  ``O(lg^2 n)`` span w.h.p. (Theorem 1.1).
+- :class:`SequentialIncrementalMSF` -- the classical one-edge-at-a-time
+  dynamic-trees algorithm [47], the baseline Algorithm 2 is work-efficient
+  against.
+"""
+
+from repro.trees.cpt import CompressedPathTree, compressed_path_trees
+from repro.core.batch_msf import BatchIncrementalMSF, InsertReport
+from repro.core.sequential_msf import SequentialIncrementalMSF
+
+
+def compressed_path_tree(forest, marked):
+    """Compressed path tree of a :class:`~repro.trees.DynamicForest`.
+
+    Convenience alias for ``forest.compressed_path_tree(marked)``.
+    """
+    return forest.compressed_path_tree(marked)
+
+
+__all__ = [
+    "BatchIncrementalMSF",
+    "SequentialIncrementalMSF",
+    "InsertReport",
+    "CompressedPathTree",
+    "compressed_path_tree",
+    "compressed_path_trees",
+]

@@ -1,0 +1,36 @@
+"""Workload generators: random graphs and sliding-window edge streams.
+
+The paper evaluates no specific dataset (it is a theory paper), so the
+benchmark harness synthesizes workloads whose parameters (n, batch size l,
+window length, weight range) sweep the regimes each bound distinguishes.
+"""
+
+from repro.graphgen.random_graphs import (
+    gnm_edges,
+    grid_edges,
+    path_edges,
+    preferential_attachment_edges,
+    random_tree_edges,
+    star_edges,
+)
+from repro.graphgen.streams import (
+    EdgeBatch,
+    bipartite_stream,
+    cycle_pulse_stream,
+    sliding_window_stream,
+    weighted_stream,
+)
+
+__all__ = [
+    "gnm_edges",
+    "grid_edges",
+    "path_edges",
+    "star_edges",
+    "random_tree_edges",
+    "preferential_attachment_edges",
+    "EdgeBatch",
+    "sliding_window_stream",
+    "weighted_stream",
+    "bipartite_stream",
+    "cycle_pulse_stream",
+]

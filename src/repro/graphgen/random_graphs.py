@@ -1,0 +1,134 @@
+"""Static random graph generators (edge lists with weights)."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+Edge = tuple[int, int, float]
+
+
+def _weights(rng: random.Random, lo: float, hi: float) -> Callable[[], float]:
+    return lambda: rng.uniform(lo, hi)
+
+
+def gnm_edges(
+    n: int,
+    m: int,
+    rng: random.Random,
+    weight_range: tuple[float, float] = (0.0, 1.0),
+) -> list[Edge]:
+    """``m`` uniform random edges on ``n`` vertices (self-loops excluded,
+    parallel edges allowed -- the structures must tolerate them)."""
+    w = _weights(rng, *weight_range)
+    out: list[Edge] = []
+    while len(out) < m:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            out.append((u, v, w()))
+    return out
+
+
+def path_edges(
+    n: int,
+    rng: random.Random | None = None,
+    weight_range: tuple[float, float] = (0.0, 1.0),
+) -> list[Edge]:
+    """A path 0-1-...-(n-1); the worst case for contraction depth."""
+    rng = rng or random.Random(0)
+    w = _weights(rng, *weight_range)
+    return [(i, i + 1, w()) for i in range(n - 1)]
+
+
+def star_edges(
+    n: int,
+    rng: random.Random | None = None,
+    weight_range: tuple[float, float] = (0.0, 1.0),
+) -> list[Edge]:
+    """A star centered at 0; the worst case for ternarization fan-out."""
+    rng = rng or random.Random(0)
+    w = _weights(rng, *weight_range)
+    return [(0, i, w()) for i in range(1, n)]
+
+
+def random_tree_edges(
+    n: int,
+    rng: random.Random,
+    weight_range: tuple[float, float] = (0.0, 1.0),
+) -> list[Edge]:
+    """A uniform random recursive tree (vertex i attaches to a random
+    earlier vertex)."""
+    w = _weights(rng, *weight_range)
+    return [(rng.randrange(i), i, w()) for i in range(1, n)]
+
+
+def grid_edges(
+    side: int,
+    rng: random.Random | None = None,
+    weight_range: tuple[float, float] = (0.0, 1.0),
+) -> list[Edge]:
+    """A side x side grid (vertex ids row-major); mesh-like topologies."""
+    rng = rng or random.Random(0)
+    w = _weights(rng, *weight_range)
+    out: list[Edge] = []
+    for r in range(side):
+        for c in range(side):
+            v = r * side + c
+            if c + 1 < side:
+                out.append((v, v + 1, w()))
+            if r + 1 < side:
+                out.append((v, v + side, w()))
+    return out
+
+
+def preferential_attachment_edges(
+    n: int,
+    out_degree: int,
+    rng: random.Random,
+    weight_range: tuple[float, float] = (0.0, 1.0),
+) -> list[Edge]:
+    """Barabasi-Albert-style power-law graph: each new vertex attaches
+    ``out_degree`` times to endpoints sampled from the existing edge list
+    (degree-proportional)."""
+    if n < 2:
+        return []
+    w = _weights(rng, *weight_range)
+    out: list[Edge] = [(0, 1, w())]
+    targets = [0, 1]
+    for v in range(2, n):
+        for _ in range(min(out_degree, v)):
+            t = targets[rng.randrange(len(targets))]
+            if t == v:
+                continue
+            out.append((v, t, w()))
+            targets.append(v)
+            targets.append(t)
+    return out
+
+
+def euclidean_knn_edges(
+    points: list[tuple[float, float]],
+    k: int,
+) -> list[Edge]:
+    """k-nearest-neighbour graph of 2D points, weighted by distance.
+
+    The standard input shape for single-linkage clustering demos; O(n^2)
+    construction is fine at example scale (use a KD-tree upstream for more).
+    """
+    import math
+
+    n = len(points)
+    out: list[Edge] = []
+    seen: set[tuple[int, int]] = set()
+    for i, (x, y) in enumerate(points):
+        dists = []
+        for j, (a, b) in enumerate(points):
+            if i != j:
+                dists.append((math.hypot(x - a, y - b), j))
+        dists.sort()
+        for d, j in dists[:k]:
+            key = (min(i, j), max(i, j))
+            if key not in seen:
+                seen.add(key)
+                out.append((i, j, d))
+    return out

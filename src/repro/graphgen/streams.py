@@ -1,0 +1,130 @@
+"""Sliding-window stream generators.
+
+A stream is a list of :class:`EdgeBatch` rounds; each round inserts a batch
+and expires a count, exercising the "arbitrary interleavings of batch
+insertions or expirations, each of arbitrary size" the paper supports.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EdgeBatch:
+    """One round: insert ``edges``, then expire ``expire`` oldest items."""
+
+    edges: tuple
+    expire: int = 0
+
+
+def sliding_window_stream(
+    n: int,
+    rounds: int,
+    batch_size: int,
+    window: int,
+    rng: random.Random,
+) -> list[EdgeBatch]:
+    """Uniform random unweighted edges; expiry keeps ~``window`` live items."""
+    out: list[EdgeBatch] = []
+    live = 0
+    for _ in range(rounds):
+        batch = []
+        for _ in range(batch_size):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                batch.append((u, v))
+        live += len(batch)
+        expire = max(0, live - window)
+        live -= expire
+        out.append(EdgeBatch(tuple(batch), expire))
+    return out
+
+
+def weighted_stream(
+    n: int,
+    rounds: int,
+    batch_size: int,
+    window: int,
+    rng: random.Random,
+    weight_range: tuple[float, float] = (1.0, 100.0),
+) -> list[EdgeBatch]:
+    """Like :func:`sliding_window_stream` with uniform weights (for the
+    approximate-MSF structure, which assumes weights in [1, W])."""
+    lo, hi = weight_range
+    out: list[EdgeBatch] = []
+    live = 0
+    for _ in range(rounds):
+        batch = []
+        for _ in range(batch_size):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                batch.append((u, v, rng.uniform(lo, hi)))
+        live += len(batch)
+        expire = max(0, live - window)
+        live -= expire
+        out.append(EdgeBatch(tuple(batch), expire))
+    return out
+
+
+def bipartite_stream(
+    n: int,
+    rounds: int,
+    batch_size: int,
+    window: int,
+    rng: random.Random,
+    violation_every: int = 5,
+) -> list[EdgeBatch]:
+    """Edges across a fixed bipartition (even/odd ids), with an intra-side
+    edge (odd cycle risk) every ``violation_every`` rounds.  Bipartiteness
+    flips as violations enter and leave the window."""
+    out: list[EdgeBatch] = []
+    live = 0
+    for r in range(rounds):
+        batch = []
+        for _ in range(batch_size):
+            u = rng.randrange(0, n, 2) if n > 1 else 0
+            v = rng.randrange(1, n, 2) if n > 1 else 0
+            if u != v:
+                batch.append((u, v))
+        if violation_every and r % violation_every == violation_every - 1 and n > 3:
+            a = rng.randrange(0, n, 2)
+            b = rng.randrange(0, n, 2)
+            if a != b:
+                batch.append((a, b))
+        live += len(batch)
+        expire = max(0, live - window)
+        live -= expire
+        out.append(EdgeBatch(tuple(batch), expire))
+    return out
+
+
+def cycle_pulse_stream(
+    n: int,
+    rounds: int,
+    window: int,
+    rng: random.Random,
+    pulse_every: int = 4,
+) -> list[EdgeBatch]:
+    """Mostly tree edges (vertex v -> random earlier vertex), with a short
+    pulse of cycle-closing edges every ``pulse_every`` rounds."""
+    out: list[EdgeBatch] = []
+    live = 0
+    attached: list[int] = [0]
+    for r in range(rounds):
+        batch = []
+        for _ in range(3):
+            v = rng.randrange(1, n)
+            u = rng.randrange(v)
+            batch.append((u, v))
+            attached.append(v)
+        if r % pulse_every == pulse_every - 1 and len(attached) >= 2:
+            a, b = rng.sample(attached, 2)
+            if a != b:
+                batch.append((a, b))
+        live += len(batch)
+        expire = max(0, live - window)
+        live -= expire
+        out.append(EdgeBatch(tuple(batch), expire))
+    return out

@@ -1,0 +1,7 @@
+"""Global minimum cut (Stoer-Wagner), used to test k-connectivity of
+certificates (Section 5.4: "the certificate generated can be used to test
+k-connectivity via a parallel global min-cut algorithm")."""
+
+from repro.mincut.stoer_wagner import global_min_cut
+
+__all__ = ["global_min_cut"]

@@ -1,0 +1,35 @@
+"""Static minimum spanning forest algorithms and MSF verification.
+
+Algorithm 2 of the paper computes, per batch, the MSF of a graph of size
+``O(l)`` (the compressed path trees plus the new edges).  The paper uses the
+expected linear-work, logarithmic-span algorithm of Cole, Klein and Tarjan,
+which parallelises the sequential Karger-Klein-Tarjan (KKT) algorithm.  This
+package provides KKT (:func:`kkt_msf`) together with the classical
+comparison baselines (:func:`kruskal_msf`, :func:`boruvka_msf`,
+:func:`prim_msf`) and the Kruskal-tree based batch path-maximum oracle used
+for KKT's F-heavy edge filtering (:mod:`repro.msf.verify`).
+
+All algorithms break weight ties by edge id, so the MSF is unique and
+algorithms are cross-checkable edge-for-edge.
+"""
+
+from repro.msf.graph import EdgeArray, canonical_edges
+from repro.msf.kruskal import kruskal_msf
+from repro.msf.boruvka import boruvka_msf
+from repro.msf.prim import prim_msf
+from repro.msf.kkt import kkt_msf
+from repro.msf.filter_kruskal import filter_kruskal_msf
+from repro.msf.verify import KruskalTreeOracle, filter_forest_heavy, verify_msf
+
+__all__ = [
+    "EdgeArray",
+    "canonical_edges",
+    "kruskal_msf",
+    "filter_kruskal_msf",
+    "boruvka_msf",
+    "prim_msf",
+    "kkt_msf",
+    "KruskalTreeOracle",
+    "filter_forest_heavy",
+    "verify_msf",
+]

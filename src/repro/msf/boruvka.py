@@ -1,0 +1,120 @@
+"""Boruvka's MSF algorithm, fully vectorized.
+
+Each round every component hooks on its (weight, eid)-minimal incident edge
+and components are contracted by pointer jumping -- the direct PRAM
+formulation.  ``O(m)`` work and ``O(lg n)`` span per round, ``O(lg n)``
+rounds, hence ``O(m lg n)`` work and ``O(lg^2 n)`` span; it is also the
+contraction step inside KKT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.msf.graph import EdgeArray
+from repro.runtime.cost import CostModel, log2ceil
+
+
+def _pointer_jump(parent: np.ndarray) -> np.ndarray:
+    """Contract a forest of hooks to its roots (parallel pointer jumping)."""
+    while True:
+        grand = parent[parent]
+        if np.array_equal(grand, parent):
+            return parent
+        parent = grand
+
+
+def boruvka_msf(
+    edges: EdgeArray,
+    cost: CostModel | None = None,
+    max_rounds: int | None = None,
+) -> np.ndarray:
+    """Return positions (into ``edges``) of the unique MSF.
+
+    If ``max_rounds`` is given, stop early and return the positions selected
+    so far (used by KKT, which interleaves Boruvka rounds with sampling);
+    callers can recover the partially contracted graph via
+    :func:`boruvka_contract`.
+    """
+    sel, _, _ = boruvka_contract(edges, cost=cost, max_rounds=max_rounds)
+    sel_arr = np.asarray(sorted(sel), dtype=np.int64)
+    return sel_arr
+
+
+def boruvka_contract(
+    edges: EdgeArray,
+    cost: CostModel | None = None,
+    max_rounds: int | None = None,
+) -> tuple[list[int], np.ndarray, np.ndarray]:
+    """Run Boruvka rounds; return (selected positions, comp labels, live mask).
+
+    ``comp`` maps each vertex to its component representative after the
+    executed rounds; ``live`` flags edge positions whose endpoints are still
+    in different components.
+    """
+    n, m = edges.n, edges.m
+    comp = np.arange(n, dtype=np.int64)
+    if m == 0:
+        return [], comp, np.zeros(0, dtype=bool)
+
+    # Global (weight, eid) ranks: computed once, reused every round so the
+    # per-round component-minimum is a pure O(m) scatter-min.
+    order = edges.weight_order()
+    rank_of_pos = np.empty(m, dtype=np.int64)
+    rank_of_pos[order] = np.arange(m, dtype=np.int64)
+    pos_of_rank = order
+
+    live = edges.u != edges.v
+    selected: list[int] = []
+    rounds = 0
+    lg_n = log2ceil(max(n, 2))
+
+    while True:
+        if max_rounds is not None and rounds >= max_rounds:
+            break
+        idx = np.nonzero(live)[0]
+        if idx.size == 0:
+            break
+        cu = comp[edges.u[idx]]
+        cv = comp[edges.v[idx]]
+        cross = cu != cv
+        if not np.any(cross):
+            live[idx] = False
+            break
+        idx = idx[cross]
+        cu, cv = cu[cross], cv[cross]
+        r = rank_of_pos[idx]
+
+        if cost is not None:
+            # One round: O(live edges) work, O(lg n) span (scatter-min +
+            # pointer jumping).
+            cost.add(work=int(idx.size) + n, span=lg_n)
+
+        sentinel = np.int64(m)
+        best = np.full(n, sentinel, dtype=np.int64)
+        np.minimum.at(best, cu, r)
+        np.minimum.at(best, cv, r)
+
+        comps = np.unique(np.concatenate([cu, cv]))
+        hook = np.arange(n, dtype=np.int64)
+        chosen_rank = best[comps]
+        chosen_pos = pos_of_rank[chosen_rank]
+        other = np.where(
+            comp[edges.u[chosen_pos]] == comps,
+            comp[edges.v[chosen_pos]],
+            comp[edges.u[chosen_pos]],
+        )
+        hook[comps] = other
+        # Break mutual hooks (2-cycles): the smaller id becomes the root.
+        mutual = (hook[hook] == np.arange(n)) & (np.arange(n) < hook)
+        hook[mutual] = np.nonzero(mutual)[0]
+        roots = _pointer_jump(hook)
+        comp = roots[comp]
+
+        selected.extend(int(p) for p in np.unique(chosen_pos))
+        live_now = comp[edges.u[idx]] != comp[edges.v[idx]]
+        dead = idx[~live_now]
+        live[dead] = False
+        rounds += 1
+
+    return selected, comp, live

@@ -1,0 +1,120 @@
+"""Struct-of-arrays edge list representation for static MSF kernels.
+
+The static algorithms are numpy-vectorized, so edges live in parallel arrays
+(``u``, ``v``, ``w``, ``eid``) rather than objects.  ``eid`` is a caller
+supplied identity used both for tie-breaking (making the MSF unique) and for
+relating selected edges back to the dynamic structures they came from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EdgeArray:
+    """An immutable weighted edge list over vertices ``0..n-1``.
+
+    Attributes:
+        n: number of vertices.
+        u, v: int64 endpoint arrays.
+        w: float64 weight array.
+        eid: int64 edge identity array (unique per edge; ties broken by it).
+    """
+
+    n: int
+    u: np.ndarray
+    v: np.ndarray
+    w: np.ndarray
+    eid: np.ndarray
+
+    def __post_init__(self) -> None:
+        m = self.u.shape[0]
+        if not (self.v.shape[0] == self.w.shape[0] == self.eid.shape[0] == m):
+            raise ValueError("edge arrays must have equal length")
+        if m > 0:
+            lo = min(int(self.u.min()), int(self.v.min()))
+            hi = max(int(self.u.max()), int(self.v.max()))
+            if lo < 0 or hi >= self.n:
+                raise ValueError(f"endpoint out of range [0, {self.n})")
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return int(self.u.shape[0])
+
+    @staticmethod
+    def from_tuples(
+        n: int, edges: Iterable[tuple[int, int, float]] | Sequence
+    ) -> "EdgeArray":
+        """Build from ``(u, v, w)`` or ``(u, v, w, eid)`` tuples.
+
+        When eids are omitted, positions are used as eids.
+        """
+        rows = list(edges)
+        if not rows:
+            z = np.empty(0, dtype=np.int64)
+            return EdgeArray(n, z, z.copy(), np.empty(0, dtype=np.float64), z.copy())
+        width = len(rows[0])
+        us = np.fromiter((r[0] for r in rows), dtype=np.int64, count=len(rows))
+        vs = np.fromiter((r[1] for r in rows), dtype=np.int64, count=len(rows))
+        ws = np.fromiter((r[2] for r in rows), dtype=np.float64, count=len(rows))
+        if width >= 4:
+            ids = np.fromiter((r[3] for r in rows), dtype=np.int64, count=len(rows))
+        else:
+            ids = np.arange(len(rows), dtype=np.int64)
+        return EdgeArray(n, us, vs, ws, ids)
+
+    def take(self, idx: np.ndarray) -> "EdgeArray":
+        """Sub-edge-list at positions ``idx`` (same vertex set)."""
+        return EdgeArray(self.n, self.u[idx], self.v[idx], self.w[idx], self.eid[idx])
+
+    def concat(self, other: "EdgeArray") -> "EdgeArray":
+        """Concatenate two edge lists over the same vertex set."""
+        if other.n != self.n:
+            raise ValueError("vertex counts differ")
+        return EdgeArray(
+            self.n,
+            np.concatenate([self.u, other.u]),
+            np.concatenate([self.v, other.v]),
+            np.concatenate([self.w, other.w]),
+            np.concatenate([self.eid, other.eid]),
+        )
+
+    def iter_tuples(self) -> Iterator[tuple[int, int, float, int]]:
+        """Yield edges as ``(u, v, w, eid)`` tuples."""
+        for i in range(self.m):
+            yield (int(self.u[i]), int(self.v[i]), float(self.w[i]), int(self.eid[i]))
+
+    def weight_order(self) -> np.ndarray:
+        """Positions sorted by (weight, eid) -- the library's total order."""
+        return np.lexsort((self.eid, self.w))
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return float(self.w.sum())
+
+
+def canonical_edges(edges: EdgeArray) -> EdgeArray:
+    """Drop self-loops and keep, per unordered endpoint pair, only the
+    (weight, eid)-minimal edge.
+
+    Parallel edges can never both be in an MSF, so static kernels may run on
+    the canonical form; expected ``O(m)`` work via semisort (here: lexsort).
+    """
+    if edges.m == 0:
+        return edges
+    keep = edges.u != edges.v
+    e = edges.take(np.nonzero(keep)[0])
+    if e.m == 0:
+        return e
+    a = np.minimum(e.u, e.v)
+    b = np.maximum(e.u, e.v)
+    order = np.lexsort((e.eid, e.w, b, a))
+    a, b = a[order], b[order]
+    first = np.ones(e.m, dtype=bool)
+    first[1:] = (a[1:] != a[:-1]) | (b[1:] != b[:-1])
+    return e.take(order[first])

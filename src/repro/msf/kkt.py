@@ -1,0 +1,129 @@
+"""Karger-Klein-Tarjan randomized MSF: expected linear work.
+
+This is the sequential formulation [37] of the parallel Cole-Klein-Tarjan
+algorithm [12] that Algorithm 2 invokes on the O(l)-size graph
+``CPT + new edges``.  Structure per recursion level:
+
+1. Two Boruvka rounds (selects some MSF edges, contracts components, and at
+   least quarters the vertex count).
+2. Sample each surviving edge independently with probability 1/2; recursively
+   compute the MSF ``F`` of the sample.
+3. Discard all *F-heavy* edges (sampling lemma: only expected ``2 n'`` edges
+   survive), then recurse on the survivors; their MSF plus the Boruvka edges
+   is the answer.
+
+Sampling uses the library's deterministic splitmix64 bits keyed by edge id
+and recursion salt, so the algorithm is reproducible given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.msf.boruvka import boruvka_contract
+from repro.msf.graph import EdgeArray
+from repro.msf.kruskal import kruskal_msf
+from repro.msf.verify import filter_forest_heavy
+from repro.runtime.cost import CostModel, log2ceil
+from repro.runtime.hashing import splitmix64
+
+_BASE_CASE = 48
+
+
+def kkt_msf(
+    edges: EdgeArray,
+    cost: CostModel | None = None,
+    seed: int = 0xC0FFEE,
+) -> np.ndarray:
+    """Return positions (into ``edges``) of the unique MSF.
+
+    Expected ``O(m)`` work; span charged at the CKT ``O(lg m)``-per-level
+    bound.  Deterministic given ``seed``.
+    """
+    pos = _kkt(edges, np.arange(edges.m, dtype=np.int64), cost, seed, 0)
+    pos.sort()
+    return pos
+
+
+def _dedup_parallel(edges: EdgeArray, orig: np.ndarray) -> tuple[EdgeArray, np.ndarray]:
+    """Drop self-loops and parallel duplicates, tracking original positions."""
+    if edges.m == 0:
+        return edges, orig
+    keep = np.nonzero(edges.u != edges.v)[0]
+    e, o = edges.take(keep), orig[keep]
+    if e.m == 0:
+        return e, o
+    a = np.minimum(e.u, e.v)
+    b = np.maximum(e.u, e.v)
+    order = np.lexsort((e.eid, e.w, b, a))
+    a, b = a[order], b[order]
+    first = np.ones(e.m, dtype=bool)
+    first[1:] = (a[1:] != a[:-1]) | (b[1:] != b[:-1])
+    sel = order[first]
+    return e.take(sel), o[sel]
+
+
+def _kkt(
+    edges: EdgeArray,
+    orig: np.ndarray,
+    cost: CostModel | None,
+    seed: int,
+    depth: int,
+) -> np.ndarray:
+    m = edges.m
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    if m <= _BASE_CASE:
+        local = kruskal_msf(edges, cost=None)
+        if cost is not None:
+            cost.add(work=m, span=log2ceil(max(m, 2)))
+        return orig[local]
+
+    # Step 1: two Boruvka rounds; contract.
+    selected_local, comp, live = boruvka_contract(edges, cost=cost, max_rounds=2)
+    picked = orig[np.asarray(selected_local, dtype=np.int64)] if selected_local else np.empty(0, dtype=np.int64)
+
+    live_idx = np.nonzero(live)[0]
+    cu = comp[edges.u[live_idx]]
+    cv = comp[edges.v[live_idx]]
+    cross = cu != cv
+    live_idx = live_idx[cross]
+    if live_idx.size == 0:
+        return picked
+    cu, cv = cu[cross], cv[cross]
+
+    # Relabel contracted components densely.
+    verts, inv = np.unique(np.concatenate([cu, cv]), return_inverse=True)
+    k = inv.shape[0] // 2
+    contracted = EdgeArray(
+        int(verts.shape[0]),
+        inv[:k].astype(np.int64),
+        inv[k:].astype(np.int64),
+        edges.w[live_idx],
+        edges.eid[live_idx],
+    )
+    contracted, sub_orig = _dedup_parallel(contracted, orig[live_idx])
+    if cost is not None:
+        cost.add(work=contracted.m, span=log2ceil(max(contracted.m, 2)))
+    if contracted.m == 0:
+        return picked
+
+    # Step 2: sample with probability 1/2 and recurse.
+    salt = splitmix64(seed ^ (depth * 0x9E3779B97F4A7C15))
+    bits = np.fromiter(
+        (splitmix64(salt ^ int(e)) & 1 for e in contracted.eid),
+        dtype=bool,
+        count=contracted.m,
+    )
+    sample_idx = np.nonzero(bits)[0]
+    sample = contracted.take(sample_idx)
+    f_orig = _kkt(sample, sub_orig[sample_idx], cost, seed, depth * 2 + 1)
+
+    # Recover the sampled forest F as rows of `contracted`.
+    in_f = np.isin(sub_orig, f_orig)
+    forest = contracted.take(np.nonzero(in_f)[0])
+
+    # Step 3: discard F-heavy edges and recurse on the survivors.
+    light = filter_forest_heavy(contracted, forest, cost=cost)
+    rest = _kkt(contracted.take(light), sub_orig[light], cost, seed, depth * 2 + 2)
+    return np.concatenate([picked, rest])

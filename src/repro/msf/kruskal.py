@@ -1,0 +1,66 @@
+"""Kruskal's MSF algorithm (sequential baseline and small-case kernel).
+
+``O(m lg m)`` work; used both as an oracle in tests and as the base case of
+the recursive KKT algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.msf.graph import EdgeArray
+from repro.runtime.cost import CostModel, log2ceil
+
+
+class _UnionFind:
+    """Union by rank + path halving; near-constant amortized finds."""
+
+    __slots__ = ("parent", "rank")
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.rank = [0] * n
+
+    def find(self, x: int) -> int:
+        """Representative of x (path halving)."""
+        p = self.parent
+        while p[x] != x:
+            p[x] = p[p[x]]
+            x = p[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        """Join two components; False if already joined."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        return True
+
+
+def kruskal_msf(edges: EdgeArray, cost: CostModel | None = None) -> np.ndarray:
+    """Return positions (into ``edges``) of the unique MSF.
+
+    Ties are broken by edge id, so the result is deterministic.
+    """
+    m = edges.m
+    if cost is not None and m > 0:
+        # Comparison sort dominates: O(m lg m) work, O(lg m) span (parallel sort).
+        cost.add(work=m * log2ceil(max(m, 2)), span=log2ceil(max(m, 2)))
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    order = edges.weight_order()
+    uf = _UnionFind(edges.n)
+    chosen: list[int] = []
+    us, vs = edges.u, edges.v
+    for pos in order:
+        a, b = int(us[pos]), int(vs[pos])
+        if a != b and uf.union(a, b):
+            chosen.append(int(pos))
+    out = np.asarray(chosen, dtype=np.int64)
+    out.sort()
+    return out

@@ -1,0 +1,58 @@
+"""Prim's (Jarnik's) MSF algorithm with a binary heap.
+
+``O(m lg n)`` work, inherently sequential; included as the classical
+textbook baseline in the kernel ablation (DESIGN.md, ABL-msf).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.msf.graph import EdgeArray
+from repro.runtime.cost import CostModel, log2ceil
+
+
+def prim_msf(edges: EdgeArray, cost: CostModel | None = None) -> np.ndarray:
+    """Return positions (into ``edges``) of the unique MSF.
+
+    Runs Prim from every not-yet-visited vertex, so disconnected graphs are
+    handled; ties break by edge id to match the library's total order.
+    """
+    n, m = edges.n, edges.m
+    if cost is not None and m > 0:
+        cost.add(work=m * log2ceil(max(n, 2)), span=m)  # sequential algorithm
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+
+    adj: list[list[tuple[float, int, int, int]]] = [[] for _ in range(n)]
+    for pos in range(m):
+        a, b = int(edges.u[pos]), int(edges.v[pos])
+        if a == b:
+            continue
+        w, e = float(edges.w[pos]), int(edges.eid[pos])
+        adj[a].append((w, e, pos, b))
+        adj[b].append((w, e, pos, a))
+
+    visited = np.zeros(n, dtype=bool)
+    chosen: list[int] = []
+    for start in range(n):
+        if visited[start]:
+            continue
+        visited[start] = True
+        heap: list[tuple[float, int, int, int]] = list(adj[start])
+        heapq.heapify(heap)
+        while heap:
+            w, e, pos, to = heapq.heappop(heap)
+            if visited[to]:
+                continue
+            visited[to] = True
+            chosen.append(pos)
+            for item in adj[to]:
+                if not visited[item[3]]:
+                    heapq.heappush(heap, item)
+
+    out = np.asarray(chosen, dtype=np.int64)
+    out.sort()
+    return out

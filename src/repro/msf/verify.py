@@ -1,0 +1,225 @@
+"""MSF verification: batch path-maximum queries via the Kruskal tree.
+
+The KKT filtering step must discard every edge that is *F-heavy* -- heavier
+than the heaviest edge on the path between its endpoints in a sampled forest
+F.  We answer all queries offline with the classic *Kruskal tree* (also
+called the Boruvka/minimax tree): insert F's edges in increasing weight
+order, creating one internal node per union; the heaviest edge on the path
+between two leaves is then the edge at their LCA.  LCAs are answered with an
+Euler tour and a numpy sparse table, so a batch of q queries over an
+n-vertex forest costs ``O((n + q) lg n)`` work.
+
+The oracle doubles as an independent correctness check for compressed path
+trees in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.msf.graph import EdgeArray
+from repro.runtime.cost import CostModel, log2ceil
+
+
+class KruskalTreeOracle:
+    """Offline heaviest-edge-on-path oracle for a static forest."""
+
+    def __init__(self, forest: EdgeArray, cost: CostModel | None = None) -> None:
+        n = forest.n
+        if cost is not None:
+            # Charged at the Komlos linear-work verification bound that the
+            # Cole-Klein-Tarjan analysis assumes; our realisation pays an
+            # extra lg factor in wall-clock (sparse-table LCA), which only
+            # affects constants of the simulation, not measured structure
+            # sizes (see DESIGN.md substitution 2).
+            cost.add(work=n + forest.m, span=log2ceil(max(n, 2)))
+        order = forest.weight_order()
+        total = n + order.shape[0]
+        # Node layout: 0..n-1 are vertex leaves; internal nodes follow in
+        # edge-insertion order.  Internal node k stores the forest edge that
+        # created it.
+        left = np.full(total, -1, dtype=np.int64)
+        right = np.full(total, -1, dtype=np.int64)
+        node_w = np.full(total, -np.inf, dtype=np.float64)
+        node_eid = np.full(total, -1, dtype=np.int64)
+        node_pos = np.full(total, -1, dtype=np.int64)
+
+        parent = np.arange(total, dtype=np.int64)  # union-find over nodes
+
+        def find(x: int) -> int:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:
+                parent[x], x = root, int(parent[x])
+            return root
+
+        nxt = n
+        for pos in order:
+            a = find(int(forest.u[pos]))
+            b = find(int(forest.v[pos]))
+            if a == b:
+                raise ValueError("input edges do not form a forest")
+            left[nxt], right[nxt] = a, b
+            node_w[nxt] = float(forest.w[pos])
+            node_eid[nxt] = int(forest.eid[pos])
+            node_pos[nxt] = int(pos)
+            parent[a] = parent[b] = nxt
+            nxt += 1
+
+        self.n = n
+        self._node_w = node_w
+        self._node_eid = node_eid
+        self._node_pos = node_pos
+        # Component roots: per leaf, its topmost ancestor.
+        self._root = np.fromiter((find(i) for i in range(n)), dtype=np.int64, count=n)
+        self._build_euler(total, left, right)
+
+    def _build_euler(self, total: int, left: np.ndarray, right: np.ndarray) -> None:
+        first = np.full(total, -1, dtype=np.int64)
+        euler: list[int] = []
+        depth_list: list[int] = []
+        is_root = np.ones(total, dtype=bool)
+        for k in range(total):
+            for c in (left[k], right[k]):
+                if c >= 0:
+                    is_root[c] = False
+        for r in np.nonzero(is_root)[0]:
+            # Iterative Euler tour: (node, depth, child-phase).
+            stack: list[tuple[int, int, int]] = [(int(r), 0, 0)]
+            while stack:
+                node, d, phase = stack.pop()
+                if first[node] < 0:
+                    first[node] = len(euler)
+                euler.append(node)
+                depth_list.append(d)
+                children = [c for c in (left[node], right[node]) if c >= 0]
+                if phase < len(children):
+                    stack.append((node, d, phase + 1))
+                    stack.append((int(children[phase]), d + 1, 0))
+
+        self._first = first
+        self._euler = np.asarray(euler, dtype=np.int64)
+        depth = np.asarray(depth_list, dtype=np.int64)
+        m = depth.shape[0]
+        levels = max(1, m.bit_length())
+        # Sparse table over Euler depths; store the argmin position.
+        table = np.empty((levels, m), dtype=np.int64)
+        table[0] = np.arange(m, dtype=np.int64)
+        j = 1
+        while (1 << j) <= m:
+            span = 1 << (j - 1)
+            prev = table[j - 1]
+            a = prev[: m - 2 * span + 1]
+            b = prev[span : m - span + 1]
+            table[j, : m - 2 * span + 1] = np.where(depth[a] <= depth[b], a, b)
+            j += 1
+        self._depth = depth
+        self._table = table[:j]
+
+    def _lca(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        lo = self._first[us]
+        hi = self._first[vs]
+        lo, hi = np.minimum(lo, hi), np.maximum(lo, hi)
+        length = hi - lo + 1
+        k = np.maximum(np.int64(0), (np.ceil(np.log2(length + 1)) - 1).astype(np.int64))
+        # Clamp k so 2^k <= length.
+        too_big = (np.int64(1) << k) > length
+        k = np.where(too_big, k - 1, k)
+        a = self._table[k, lo]
+        b = self._table[k, hi - (np.int64(1) << k) + 1]
+        arg = np.where(self._depth[a] <= self._depth[b], a, b)
+        return self._euler[arg]
+
+    def connected(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Vectorized same-tree test for each pair ``us[i], vs[i]``."""
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        return self._root[us] == self._root[vs]
+
+    def path_max(
+        self, us: np.ndarray, vs: np.ndarray, cost: CostModel | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Heaviest edge on each path ``us[i] -- vs[i]``.
+
+        Returns ``(weights, eids, forest_positions, connected_mask)``; entries
+        for disconnected or identical endpoints have weight ``-inf`` and ids
+        ``-1`` (connected is True for identical endpoints).
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if cost is not None:
+            cost.add(work=us.shape[0], span=log2ceil(max(self.n, 2)))
+        conn = self._root[us] == self._root[vs]
+        w = np.full(us.shape[0], -np.inf, dtype=np.float64)
+        eid = np.full(us.shape[0], -1, dtype=np.int64)
+        fpos = np.full(us.shape[0], -1, dtype=np.int64)
+        mask = conn & (us != vs)
+        if np.any(mask):
+            lca = self._lca(us[mask], vs[mask])
+            w[mask] = self._node_w[lca]
+            eid[mask] = self._node_eid[lca]
+            fpos[mask] = self._node_pos[lca]
+        return w, eid, fpos, conn
+
+
+def filter_forest_heavy(
+    edges: EdgeArray, forest: EdgeArray, cost: CostModel | None = None
+) -> np.ndarray:
+    """Positions (into ``edges``) of the *F-light* edges w.r.t. ``forest``.
+
+    An edge is F-light if its endpoints are disconnected in the forest, or if
+    it is no heavier (in (weight, eid) order) than the heaviest edge on the
+    forest path between its endpoints.  Only F-light edges can appear in the
+    final MSF (KKT sampling lemma).
+    """
+    if edges.m == 0:
+        return np.empty(0, dtype=np.int64)
+    oracle = KruskalTreeOracle(forest, cost=cost)
+    w, eid, _, conn = oracle.path_max(edges.u, edges.v, cost=cost)
+    not_loop = edges.u != edges.v
+    lighter = (edges.w < w) | ((edges.w == w) & (edges.eid <= eid))
+    light = not_loop & (~conn | lighter)
+    return np.nonzero(light)[0]
+
+
+def verify_msf(
+    edges: EdgeArray,
+    forest_positions: np.ndarray,
+    cost: CostModel | None = None,
+) -> bool:
+    """Check that ``forest_positions`` select the (unique) MSF of ``edges``.
+
+    Conditions checked (Komlos-style verification, ``O(m)`` charged):
+
+    1. the selection is a forest spanning the same components as the graph;
+    2. no non-selected edge is lighter (in (weight, eid) order) than the
+       heaviest edge on the forest path between its endpoints.
+
+    With the library's tie-breaking the MSF is unique, so this accepts
+    exactly one selection per input.
+    """
+    m = edges.m
+    sel = np.zeros(m, dtype=bool)
+    sel[forest_positions] = True
+    forest = edges.take(np.nonzero(sel)[0])
+    try:
+        oracle = KruskalTreeOracle(forest, cost=cost)
+    except ValueError:  # selection contains a cycle
+        return False
+
+    # Spanning: every graph edge's endpoints are connected in the forest.
+    conn = oracle.connected(edges.u, edges.v)
+    if not bool(np.all(conn | (edges.u == edges.v))):
+        return False
+
+    # Cut/cycle optimality: every edge is >= the forest path maximum between
+    # its endpoints; forest edges achieve equality with themselves.
+    w, eid, _, _ = oracle.path_max(edges.u, edges.v, cost=cost)
+    not_loop = edges.u != edges.v
+    lighter = (edges.w < w) | ((edges.w == w) & (edges.eid < eid))
+    if bool(np.any(lighter & not_loop)):
+        return False
+    # Finally, each selected edge must be the one its own query returns.
+    fw, feid, _, _ = oracle.path_max(forest.u, forest.v, cost=cost)
+    return bool(np.all((fw == forest.w) & (feid == forest.eid)))

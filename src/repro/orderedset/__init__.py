@@ -1,0 +1,13 @@
+"""Parallel ordered sets (join-based treaps).
+
+Section 5 maintains, next to each forest, "a parallel ordered-set data
+structure D, which stores all unexpired MSF edges ordered by tau" [8, 9].
+:class:`~repro.orderedset.treap.Treap` provides the required operations --
+split / join / union / difference -- with the join-based bounds of Blelloch,
+Ferizovic and Sun: union of sizes ``m <= n`` in ``O(m lg(n/m + 1))`` work
+and polylogarithmic span.
+"""
+
+from repro.orderedset.treap import Treap
+
+__all__ = ["Treap"]

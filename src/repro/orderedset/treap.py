@@ -1,0 +1,325 @@
+"""Join-based treaps: ordered key-value maps with split / join / union.
+
+All operations are expressed through ``join(left, k, v, right)`` in the
+style of Blelloch, Ferizovic and Sun ("Just join for parallel ordered
+sets"), which is how the paper's ordered sets achieve their parallel
+bounds.  Priorities are a deterministic hash of the key, so a treap's shape
+depends only on its key set -- handy for tests and reproducibility.
+
+Nodes are immutable; every operation returns a new root and never mutates
+shared state, so splits are O(lg n) snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.runtime.cost import CostModel, log2ceil
+from repro.runtime.hashing import splitmix64
+
+
+class _Node:
+    __slots__ = ("key", "value", "prio", "left", "right", "size")
+
+    def __init__(self, key, value, prio, left, right) -> None:
+        self.key = key
+        self.value = value
+        self.prio = prio
+        self.left = left
+        self.right = right
+        self.size = 1 + _size(left) + _size(right)
+
+
+def _size(node: Optional[_Node]) -> int:
+    return node.size if node is not None else 0
+
+
+def _prio(key) -> int:
+    return splitmix64(hash(key) & ((1 << 64) - 1))
+
+
+def _join(left: Optional[_Node], key, value, prio, right: Optional[_Node]) -> _Node:
+    """Join: every key in ``left`` < ``key`` < every key in ``right``."""
+    if left is not None and left.prio > prio and (right is None or left.prio >= right.prio):
+        return _Node(left.key, left.value, left.prio, left.left, _join(left.right, key, value, prio, right))
+    if right is not None and right.prio > prio:
+        return _Node(right.key, right.value, right.prio, _join(left, key, value, prio, right.left), right.right)
+    return _Node(key, value, prio, left, right)
+
+
+def _join2(left: Optional[_Node], right: Optional[_Node]) -> Optional[_Node]:
+    """Join without a middle key."""
+    if left is None:
+        return right
+    if right is None:
+        return left
+    # Splay out the last key of the lighter side.
+    k, v = _last(left)
+    smaller, _, _ = _split(left, k)
+    return _join(smaller, k, v, _prio(k), right)
+
+
+def _last(node: _Node):
+    while node.right is not None:
+        node = node.right
+    return node.key, node.value
+
+
+def _split(node: Optional[_Node], key) -> tuple[Optional[_Node], Optional[tuple], Optional[_Node]]:
+    """Split into (< key, the (key,value) if present, > key)."""
+    if node is None:
+        return None, None, None
+    if key < node.key:
+        l, m, r = _split(node.left, key)
+        return l, m, _join(r, node.key, node.value, node.prio, node.right)
+    if node.key < key:
+        l, m, r = _split(node.right, key)
+        return _join(node.left, node.key, node.value, node.prio, l), m, r
+    return node.left, (node.key, node.value), node.right
+
+
+def _union(a: Optional[_Node], b: Optional[_Node]) -> Optional[_Node]:
+    """Union; on duplicate keys one of the values is kept (unspecified --
+    the sliding-window layer only ever unions disjoint key sets)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a.prio < b.prio:
+        a, b = b, a  # recurse on the higher-priority root
+    l, m, r = _split(b, a.key)
+    return _join(_union(a.left, l), a.key, a.value, a.prio, _union(a.right, r))
+
+
+def _difference(a: Optional[_Node], b: Optional[_Node]) -> Optional[_Node]:
+    """Keys of ``a`` not present in ``b``."""
+    if a is None or b is None:
+        return a
+    l, m, r = _split(a, b.key)
+    return _join2(_difference(l, b.left), _difference(r, b.right))
+
+
+def _iter(node: Optional[_Node]) -> Iterator[tuple]:
+    stack: list = []
+    while stack or node is not None:
+        while node is not None:
+            stack.append(node)
+            node = node.left
+        node = stack.pop()
+        yield (node.key, node.value)
+        node = node.right
+
+
+class Treap:
+    """An ordered key-value map with logarithmic split/join operations.
+
+    Supports the Section 5 workload: bulk insert (union), bulk delete
+    (difference), split at a threshold (expiry), size, min/max, and ordered
+    iteration.  Work/span are charged at the join-based bounds.
+    """
+
+    __slots__ = ("_root", "cost")
+
+    def __init__(self, items=None, cost: CostModel | None = None) -> None:
+        self.cost = cost if cost is not None else CostModel(enabled=False)
+        self._root: Optional[_Node] = None
+        if items:
+            self.insert_many(items)
+
+    # -- basic ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return _size(self._root)
+
+    def __bool__(self) -> bool:
+        return self._root is not None
+
+    def __contains__(self, key) -> bool:
+        node = self._root
+        self.cost.add(work=log2ceil(max(len(self), 2)), span=log2ceil(max(len(self), 2)))
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return True
+        return False
+
+    def get(self, key, default=None):
+        """Value for ``key`` or ``default``; O(lg n)."""
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return node.value
+        return default
+
+    def insert(self, key, value=None) -> None:
+        """Insert or replace one key; O(lg n)."""
+        l, _, r = _split(self._root, key)
+        self._root = _join(l, key, value, _prio(key), r)
+        self.cost.add(work=log2ceil(max(len(self), 2)), span=log2ceil(max(len(self), 2)))
+
+    def delete(self, key) -> bool:
+        """Remove one key if present; O(lg n)."""
+        l, m, r = _split(self._root, key)
+        self._root = _join2(l, r)
+        self.cost.add(work=log2ceil(max(len(self) + 1, 2)), span=log2ceil(max(len(self) + 1, 2)))
+        return m is not None
+
+    # -- bulk (the parallel operations of [8, 9]) -----------------------
+
+    def insert_many(self, items) -> None:
+        """Bulk insert-or-replace; ``O(m lg(n/m + 1))`` work, polylog span.
+
+        New values win on duplicate keys (same semantics as :meth:`insert`).
+        """
+        items = list(items)
+        if not items:
+            return
+        other = _build_from_sorted(sorted(items, key=lambda kv: kv[0]))
+        n, m = max(len(self), 1), len(items)
+        self.cost.add(
+            work=m * log2ceil(max(n // m + 1, 2)) + m,
+            span=log2ceil(max(n + m, 2)) ** 2,
+        )
+        # difference-then-union makes the key sets disjoint, so the new
+        # values deterministically replace old ones.
+        self._root = _union(_difference(self._root, other), other)
+
+    def delete_many(self, keys) -> None:
+        """Bulk delete; ``O(m lg(n/m + 1))`` work, polylog span."""
+        keys = list(keys)
+        if not keys:
+            return
+        other = _build_from_sorted(sorted((k, None) for k in keys))
+        n, m = max(len(self), 1), len(keys)
+        self.cost.add(
+            work=m * log2ceil(max(n // m + 1, 2)) + m,
+            span=log2ceil(max(n + m, 2)) ** 2,
+        )
+        self._root = _difference(self._root, other)
+
+    def split_at(self, key) -> "Treap":
+        """Remove and return all entries with ``key' < key`` (O(lg n)).
+
+        This is the expiry primitive: ``D.split_at(TW)`` yields the expired
+        prefix and leaves the live suffix in place.
+        """
+        l, m, r = _split(self._root, key)
+        self.cost.add(work=log2ceil(max(len(self) + 1, 2)), span=log2ceil(max(len(self) + 1, 2)))
+        if m is not None:
+            r = _join(None, m[0], m[1], _prio(m[0]), r)
+        self._root = r
+        out = Treap(cost=self.cost)
+        out._root = l
+        return out
+
+    # -- order statistics ----------------------------------------------
+
+    def min(self):
+        """Smallest (key, value); O(lg n)."""
+        if self._root is None:
+            raise KeyError("empty treap")
+        node = self._root
+        while node.left is not None:
+            node = node.left
+        return (node.key, node.value)
+
+    def max(self):
+        """Largest (key, value); O(lg n)."""
+        if self._root is None:
+            raise KeyError("empty treap")
+        node = self._root
+        while node.right is not None:
+            node = node.right
+        return (node.key, node.value)
+
+    def rank(self, key) -> int:
+        """Number of keys strictly less than ``key``; O(lg n)."""
+        node, r = self._root, 0
+        while node is not None:
+            if key <= node.key:
+                node = node.left
+            else:
+                r += 1 + _size(node.left)
+                node = node.right
+        return r
+
+    def kth(self, k: int):
+        """The k-th smallest entry (0-based); O(lg n)."""
+        if not 0 <= k < len(self):
+            raise IndexError(k)
+        node = self._root
+        while True:
+            ls = _size(node.left)
+            if k < ls:
+                node = node.left
+            elif k == ls:
+                return (node.key, node.value)
+            else:
+                k -= ls + 1
+                node = node.right
+
+    def items(self) -> Iterator[tuple]:
+        """In-order (key, value) iteration."""
+        return _iter(self._root)
+
+    def keys(self) -> Iterator:
+        """In-order key iteration."""
+        return (k for k, _ in _iter(self._root))
+
+    def check_invariants(self) -> None:
+        """Validate BST order, heap order and sizes (test helper)."""
+        def rec(node, lo, hi):
+            if node is None:
+                return 0
+            assert (lo is None or lo < node.key) and (hi is None or node.key < hi)
+            assert node.left is None or node.left.prio <= node.prio
+            assert node.right is None or node.right.prio <= node.prio
+            s = 1 + rec(node.left, lo, node.key) + rec(node.right, node.key, hi)
+            assert node.size == s
+            return s
+
+        rec(self._root, None, None)
+
+
+def _build_from_sorted(items: list) -> Optional[_Node]:
+    """Build a treap from sorted (key, value) pairs in O(n).
+
+    Classic linear-time Cartesian-tree construction over the priority
+    sequence using a rightmost-spine stack; duplicate keys keep the later
+    value.
+    """
+    dedup: list = []
+    for k, v in items:
+        if dedup and dedup[-1][0] == k:
+            dedup[-1] = (k, v)
+        else:
+            dedup.append((k, v))
+
+    stack: list[_Node] = []
+    for k, v in dedup:
+        p = _prio(k)
+        node = _Node(k, v, p, None, None)
+        last = None
+        while stack and stack[-1].prio < p:
+            last = stack.pop()
+        node.left = last
+        if stack:
+            stack[-1].right = node
+        stack.append(node)
+    root = stack[0] if stack else None
+    _fix_sizes(root)
+    return root
+
+
+def _fix_sizes(node: Optional[_Node]) -> int:
+    if node is None:
+        return 0
+    node.size = 1 + _fix_sizes(node.left) + _fix_sizes(node.right)
+    return node.size

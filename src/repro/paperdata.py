@@ -1,0 +1,73 @@
+"""The paper's worked examples as machine-readable data.
+
+Figure 1 (Section 1.1): a weighted tree with marked vertices A..E whose
+compressed path tree has six edges weighted {6, 10, 9, 7, 12, 3} and two
+Steiner branch vertices.  The arXiv source has no machine-readable layout,
+so ``FIG1_EDGES`` is a faithful reconstruction realising exactly the
+published CPT (same marked set, Steiner count and edge weights).
+
+Figure 2 (Section 2.2): the 12-vertex tree on {a..l} whose recursive
+clustering and RC tree the paper draws.
+"""
+
+from __future__ import annotations
+
+# -- Figure 1 ----------------------------------------------------------------
+# Vertex ids: A=0, B=1, C=2, D=3, E=4 (marked); X=5, Y=6 are the Steiner
+# branch points of the published CPT; 7..13 are interior/dangling vertices
+# that must be spliced or pruned away.
+FIG1_A, FIG1_B, FIG1_C, FIG1_D, FIG1_E, FIG1_X, FIG1_Y = range(7)
+_P, _Q, _R, _S, _Z1, _Z2, _Z3 = range(7, 14)
+
+FIG1_N = 14
+FIG1_MARKED = [FIG1_A, FIG1_B, FIG1_C, FIG1_D, FIG1_E]
+FIG1_NAMES = {0: "A", 1: "B", 2: "C", 3: "D", 4: "E", 5: "X", 6: "Y"}
+
+FIG1_EDGES: list[tuple[int, int, float, int]] = [
+    (FIG1_A, _P, 2.0, 0),
+    (_P, FIG1_X, 6.0, 1),  # path A..X, heaviest 6
+    (FIG1_B, FIG1_X, 10.0, 2),  # path B..X, heaviest 10
+    (FIG1_X, _Q, 9.0, 3),
+    (_Q, FIG1_Y, 4.0, 4),  # path X..Y, heaviest 9
+    (FIG1_C, _R, 5.0, 5),
+    (_R, FIG1_Y, 7.0, 6),  # path C..Y, heaviest 7
+    (FIG1_E, FIG1_Y, 12.0, 7),  # path E..Y, heaviest 12
+    (FIG1_D, _S, 3.0, 8),
+    (_S, FIG1_E, 1.0, 9),  # path D..E, heaviest 3
+    (_Q, _Z1, 5.0, 10),  # dangling branches: pruned away
+    (_R, _Z2, 4.0, 11),
+    (_S, _Z3, 2.0, 12),
+]
+
+FIG1_EXPECTED_CPT: dict[frozenset, float] = {
+    frozenset((FIG1_A, FIG1_X)): 6.0,
+    frozenset((FIG1_B, FIG1_X)): 10.0,
+    frozenset((FIG1_X, FIG1_Y)): 9.0,
+    frozenset((FIG1_C, FIG1_Y)): 7.0,
+    frozenset((FIG1_E, FIG1_Y)): 12.0,
+    frozenset((FIG1_D, FIG1_E)): 3.0,
+}
+
+# -- Figure 2 ----------------------------------------------------------------
+FIG2_NAMES = "abcdefghijkl"
+FIG2_N = len(FIG2_NAMES)
+
+FIG2_EDGES_NAMED: list[tuple[str, str]] = [
+    ("a", "b"),
+    ("b", "c"),
+    ("b", "d"),
+    ("d", "e"),
+    ("e", "f"),
+    ("e", "h"),
+    ("g", "h"),
+    ("h", "i"),
+    ("i", "j"),
+    ("i", "k"),
+    ("k", "l"),
+]
+
+
+def fig2_links() -> list[tuple[int, int, float, int]]:
+    """Figure 2's tree as (u, v, w, eid) links over ids 0..11."""
+    idx = {c: i for i, c in enumerate(FIG2_NAMES)}
+    return [(idx[x], idx[y], 1.0, k) for k, (x, y) in enumerate(FIG2_EDGES_NAMED)]

@@ -1,0 +1,27 @@
+"""Work-efficient parallel sequence primitives (map, reduce, scan, pack, semisort).
+
+These are the bulk building blocks the paper's algorithms assume from the
+PRAM literature.  Implementations are numpy-vectorized; each charges its
+textbook work/span to the caller's :class:`~repro.runtime.CostModel`
+(``n`` work and ``O(lg n)`` span unless noted).
+"""
+
+from repro.primitives.sequences import (
+    pack,
+    pmap,
+    prefix_sums,
+    preduce,
+    pfilter,
+)
+from repro.primitives.semisort import dedup_ints, group_by_key, semisort_pairs
+
+__all__ = [
+    "pmap",
+    "preduce",
+    "prefix_sums",
+    "pack",
+    "pfilter",
+    "semisort_pairs",
+    "group_by_key",
+    "dedup_ints",
+]

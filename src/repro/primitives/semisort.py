@@ -1,0 +1,58 @@
+"""Semisorting and deduplication.
+
+Algorithm 2 collects the distinct endpoints of a batch with a semisort
+(Theorem 4.2: "Collecting the endpoints of the edges takes O(l) work in
+expectation and O(lg l) span w.h.p. using a semisort").  A semisort groups
+equal keys together without fully ordering the groups; the classic parallel
+bound is ``O(n)`` expected work and ``O(lg n)`` span w.h.p. [Gu, Shun, Sun,
+Blelloch 2015].  We charge those bounds while implementing the grouping with
+numpy hashing/sorting, which is the fastest vectorized realisation in Python.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.runtime.cost import CostModel, log2ceil
+
+
+def _charge_semisort(n: int, cost: CostModel | None) -> None:
+    if cost is not None and n > 0:
+        cost.add(work=n, span=log2ceil(max(n, 2)))
+
+
+def semisort_pairs(
+    keys: Sequence[int], values: Sequence[int], cost: CostModel | None = None
+) -> dict[int, list[int]]:
+    """Group ``values`` by ``keys``; expected ``O(n)`` work, ``O(lg n)`` span."""
+    if len(keys) != len(values):
+        raise ValueError("keys and values must have equal length")
+    _charge_semisort(len(keys), cost)
+    groups: dict[int, list[int]] = {}
+    for k, v in zip(keys, values):
+        groups.setdefault(k, []).append(v)
+    return groups
+
+
+def group_by_key(
+    keys: np.ndarray | Sequence[int], cost: CostModel | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return (unique keys, counts), grouped by semisort.
+
+    Expected ``O(n)`` work and ``O(lg n)`` span w.h.p.
+    """
+    arr = np.asarray(keys, dtype=np.int64)
+    _charge_semisort(arr.shape[0], cost)
+    uniq, counts = np.unique(arr, return_counts=True)
+    return uniq, counts
+
+
+def dedup_ints(
+    keys: np.ndarray | Sequence[int], cost: CostModel | None = None
+) -> np.ndarray:
+    """Distinct keys (sorted); expected ``O(n)`` work, ``O(lg n)`` span."""
+    arr = np.asarray(keys, dtype=np.int64)
+    _charge_semisort(arr.shape[0], cost)
+    return np.unique(arr)

@@ -1,0 +1,95 @@
+"""Map / reduce / scan / pack over sequences, with work-span accounting.
+
+The span charged follows the classic EREW/CRCW bounds: a balanced reduction
+or scan over ``n`` items has ``O(n)`` work and ``O(lg n)`` span; a map has
+``O(n)`` work and ``O(1)`` span (plus the cost of the mapped function, which
+the function itself charges if it takes a cost model).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.runtime.cost import CostModel, log2ceil
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+def pmap(
+    fn: Callable[[T], U], items: Sequence[T], cost: CostModel | None = None
+) -> list[U]:
+    """Apply ``fn`` to every item; ``O(n)`` work, ``O(1)`` span."""
+    if cost is not None:
+        cost.add(work=len(items), span=1)
+    return [fn(x) for x in items]
+
+
+def preduce(
+    fn: Callable[[U, U], U],
+    items: Iterable[U],
+    identity: U,
+    cost: CostModel | None = None,
+) -> U:
+    """Balanced-tree reduction; ``O(n)`` work, ``O(lg n)`` span."""
+    acc = identity
+    n = 0
+    for x in items:
+        acc = fn(acc, x)
+        n += 1
+    if cost is not None:
+        cost.add(work=max(n, 1), span=log2ceil(max(n, 2)))
+    return acc
+
+
+def prefix_sums(
+    values: np.ndarray | Sequence[int], cost: CostModel | None = None
+) -> np.ndarray:
+    """Exclusive prefix sums; ``O(n)`` work, ``O(lg n)`` span.
+
+    Returns an array of length ``n + 1`` whose last entry is the total.
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    out = np.empty(arr.shape[0] + 1, dtype=np.int64)
+    out[0] = 0
+    np.cumsum(arr, out=out[1:])
+    if cost is not None:
+        cost.add(work=max(arr.shape[0], 1), span=log2ceil(max(arr.shape[0], 2)))
+    return out
+
+
+def pack(
+    flags: np.ndarray | Sequence[bool],
+    items: Sequence[T],
+    cost: CostModel | None = None,
+) -> list[T]:
+    """Keep items whose flag is set, preserving order; ``O(n)`` work."""
+    mask = np.asarray(flags, dtype=bool)
+    if len(mask) != len(items):
+        raise ValueError("flags and items must have equal length")
+    if cost is not None:
+        cost.add(work=max(len(items), 1), span=log2ceil(max(len(items), 2)))
+    return [x for x, keep in zip(items, mask) if keep]
+
+
+def pfilter(
+    pred: Callable[[T], bool], items: Sequence[T], cost: CostModel | None = None
+) -> list[T]:
+    """Filter by a predicate (map + pack); ``O(n)`` work, ``O(lg n)`` span."""
+    if cost is not None:
+        cost.add(work=max(len(items), 1), span=log2ceil(max(len(items), 2)))
+    return [x for x in items if pred(x)]
+
+
+def pflatten(
+    lists: Sequence[Sequence[Any]], cost: CostModel | None = None
+) -> list[Any]:
+    """Flatten nested sequences; ``O(total)`` work, ``O(lg n)`` span."""
+    out: list[Any] = []
+    for sub in lists:
+        out.extend(sub)
+    if cost is not None:
+        cost.add(work=max(len(out), 1), span=log2ceil(max(len(lists), 2)))
+    return out

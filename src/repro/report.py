@@ -1,0 +1,96 @@
+"""Aggregate the benchmark harness output into one report.
+
+``python -m repro.report`` collects every table in ``bench_results/`` (as
+written by ``pytest benchmarks/ --benchmark-only``) into a single
+``REPORT.md`` next to it -- the regenerable companion to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+# Render order: headline theorems, figures, Table 1 rows, ablations.
+_SECTIONS = [
+    ("Theorem 1.1 (batch-incremental MSF)", ["thm11_work_scaling", "thm11_span_scaling"]),
+    ("Theorem 3.2 (compressed path trees)", ["thm32_cpt_scaling_path", "thm32_cpt_scaling_random-tree"]),
+    ("Figure 1", ["fig1_cpt_example"]),
+    ("Figure 2", ["fig2_rctree_example"]),
+    (
+        "Table 1",
+        [
+            "table1_connectivity",
+            "table1_connectivity_query",
+            "table1_connectivity_expire",
+            "table1_bipartiteness",
+            "table1_bipartiteness_trace",
+            "table1_cyclefree",
+            "table1_cyclefree_trace",
+            "table1_msf",
+            "table1_msf_quality",
+            "table1_kcertificate",
+            "table1_kcertificate_size",
+            "table1_sparsifier_work",
+            "table1_sparsifier_quality",
+        ],
+    ),
+    (
+        "Ablations",
+        [
+            "ablation_batching",
+            "ablation_msf_kernel_work",
+            "ablation_ternary",
+            "ablation_compress_rule",
+            "ablation_compress_rule_agreement",
+            "queries_work",
+            "scale_end_to_end",
+        ],
+    ),
+]
+
+
+def build_report(results_dir: pathlib.Path) -> str:
+    """Assemble the markdown report from the tables in ``results_dir``."""
+    lines = [
+        "# Benchmark report",
+        "",
+        "Regenerated from `bench_results/*.txt` by `python -m repro.report`;",
+        "see EXPERIMENTS.md for the paper-claim-by-claim reading.",
+    ]
+    seen = set()
+    for title, names in _SECTIONS:
+        found = [n for n in names if (results_dir / f"{n}.txt").exists()]
+        if not found:
+            continue
+        lines += ["", f"## {title}"]
+        for name in found:
+            seen.add(name)
+            lines += ["", "```", (results_dir / f"{name}.txt").read_text().rstrip(), "```"]
+    extras = sorted(
+        p.stem for p in results_dir.glob("*.txt") if p.stem not in seen
+    )
+    if extras:
+        lines += ["", "## Other results"]
+        for name in extras:
+            lines += ["", "```", (results_dir / f"{name}.txt").read_text().rstrip(), "```"]
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: write ``REPORT.md`` into the results directory."""
+    argv = sys.argv[1:] if argv is None else argv
+    results = pathlib.Path(argv[0]) if argv else pathlib.Path("bench_results")
+    if not results.is_dir():
+        print(
+            f"no {results}/ directory -- run `pytest benchmarks/ --benchmark-only` first",
+            file=sys.stderr,
+        )
+        return 1
+    out = results / "REPORT.md"
+    out.write_text(build_report(results))
+    print(f"wrote {out} ({sum(1 for _ in results.glob('*.txt'))} tables)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Execution substrate: the work-span PRAM cost model and deterministic hashing.
+
+The paper states every bound in the work-span model on an arbitrary-CRCW
+PRAM (Section 2.1).  CPython cannot profitably run fine-grained fork-join
+parallelism, so this package provides an *instrumented simulation*: algorithms
+execute deterministically while a :class:`CostModel` records the work (total
+unit operations) and span (length of the critical path of parallel rounds)
+that the algorithm *would* incur on a PRAM.  Benchmarks then validate the
+paper's bounds in exactly the quantities the theorems are stated in.
+"""
+
+from repro.runtime.cost import Cost, CostModel, measure, parallel_regions
+from repro.runtime.hashing import HashBits, splitmix64
+from repro.runtime.scheduler import (
+    Scheduler,
+    SequentialScheduler,
+    ThreadPoolScheduler,
+    get_default_scheduler,
+    set_default_scheduler,
+)
+
+__all__ = [
+    "Cost",
+    "CostModel",
+    "measure",
+    "parallel_regions",
+    "HashBits",
+    "splitmix64",
+    "Scheduler",
+    "SequentialScheduler",
+    "ThreadPoolScheduler",
+    "get_default_scheduler",
+    "set_default_scheduler",
+]

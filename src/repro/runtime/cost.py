@@ -1,0 +1,189 @@
+"""Work-span accounting for the simulated CRCW PRAM.
+
+Every data structure in this library threads a :class:`CostModel` through its
+operations.  Sequential composition adds both work and span; parallel
+composition adds work but takes the maximum span of its branches.  Algorithms
+charge costs at the granularity the paper analyses them: one unit per vertex
+or edge touched, one round of span per level-synchronous step, ``lg n`` span
+per scan/sort primitive.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Cost:
+    """An immutable (work, span) pair, e.g. the cost of one operation."""
+
+    work: int
+    span: int
+
+    def __add__(self, other: "Cost") -> "Cost":
+        """Sequential composition: work and span both add."""
+        return Cost(self.work + other.work, self.span + other.span)
+
+    def __or__(self, other: "Cost") -> "Cost":
+        """Parallel composition: work adds, span takes the max."""
+        return Cost(self.work + other.work, max(self.span, other.span))
+
+    @staticmethod
+    def zero() -> "Cost":
+        """The identity of both compositions."""
+        return Cost(0, 0)
+
+
+def log2ceil(x: float) -> int:
+    """``ceil(lg x)`` clamped below at 1; the span of an x-way primitive."""
+    if x <= 2:
+        return 1
+    return int(math.ceil(math.log2(x)))
+
+
+class CostModel:
+    """Mutable accumulator of work and span.
+
+    The model supports nested parallel blocks::
+
+        with cost.parallel() as fork:
+            for item in items:
+                with fork.branch():
+                    ...   # charges inside run "in parallel"
+
+    Inside a ``parallel`` block each ``branch`` accumulates into its own
+    sub-counter; on exit the block contributes the sum of branch work and the
+    maximum branch span to the enclosing scope.
+    """
+
+    __slots__ = ("work", "span", "enabled")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.work = 0
+        self.span = 0
+        self.enabled = enabled
+
+    def add(self, work: int = 0, span: int = 0) -> None:
+        """Charge ``work`` units and ``span`` rounds sequentially."""
+        if self.enabled:
+            self.work += work
+            self.span += span
+
+    def add_cost(self, cost: Cost) -> None:
+        """Charge a :class:`Cost` pair sequentially."""
+        if self.enabled:
+            self.work += cost.work
+            self.span += cost.span
+
+    def bulk(self, n: int) -> None:
+        """Charge one n-element data-parallel primitive: n work, lg n span."""
+        if self.enabled and n > 0:
+            self.work += n
+            self.span += log2ceil(n)
+
+    def snapshot(self) -> Cost:
+        """The current totals, for later :meth:`since` deltas."""
+        return Cost(self.work, self.span)
+
+    def since(self, snap: Cost) -> Cost:
+        """The (work, span) accumulated since ``snap``."""
+        return Cost(self.work - snap.work, self.span - snap.span)
+
+    def reset(self) -> None:
+        """Zero both counters."""
+        self.work = 0
+        self.span = 0
+
+    @contextmanager
+    def parallel(self) -> Iterator["_ParallelBlock"]:
+        """Open a parallel block: branches compose as sum-work/max-span."""
+        block = _ParallelBlock(self)
+        yield block
+        block._commit()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CostModel(work={self.work}, span={self.span})"
+
+
+class _ParallelBlock:
+    """Collects branch costs and commits (sum-work, max-span) to the parent."""
+
+    __slots__ = ("_parent", "_work", "_max_span", "_open")
+
+    def __init__(self, parent: CostModel) -> None:
+        self._parent = parent
+        self._work = 0
+        self._max_span = 0
+        self._open = True
+
+    @contextmanager
+    def branch(self) -> Iterator[CostModel]:
+        """One parallel branch; charges inside go to a fresh sub-model."""
+        sub = CostModel(enabled=self._parent.enabled)
+        yield sub
+        self._work += sub.work
+        if sub.span > self._max_span:
+            self._max_span = sub.span
+
+    def _commit(self) -> None:
+        if self._open:
+            self._parent.add(self._work, self._max_span)
+            self._open = False
+
+
+@contextmanager
+def measure(cost: CostModel) -> Iterator["Measurement"]:
+    """Measure the (work, span) delta of a block against ``cost``."""
+    m = Measurement()
+    snap = cost.snapshot()
+    yield m
+    delta = cost.since(snap)
+    m.work = delta.work
+    m.span = delta.span
+
+
+class Measurement:
+    """Result of a :func:`measure` block."""
+
+    __slots__ = ("work", "span")
+
+    def __init__(self) -> None:
+        self.work = 0
+        self.span = 0
+
+    def cost(self) -> Cost:
+        """The measured delta as a :class:`Cost` pair."""
+        return Cost(self.work, self.span)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Measurement(work={self.work}, span={self.span})"
+
+
+def parallel_regions(parent: CostModel, regions) -> list:
+    """Run sub-structure operations that are conceptually parallel.
+
+    ``regions`` is an iterable of ``(sub_model, thunk)`` pairs, where each
+    sub-structure charges its own :class:`CostModel`.  The thunks execute
+    sequentially (this is a simulation), their per-model (work, span)
+    deltas are measured, and the parent is charged their **sum of work and
+    maximum span** -- the parallel composition rule the paper's composed
+    structures (R approximate-MSF levels, the sparsifier's instance stack)
+    are analysed under.
+
+    Returns the thunks' results in order.
+    """
+    regions = list(regions)
+    snaps = [model.snapshot() for model, _ in regions]
+    results = []
+    total_work = 0
+    max_span = 0
+    for (model, thunk), snap in zip(regions, snaps):
+        results.append(thunk())
+        delta = model.since(snap)
+        total_work += delta.work
+        max_span = max(max_span, delta.span)
+    parent.add(work=total_work, span=max_span)
+    return results

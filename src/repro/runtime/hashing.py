@@ -1,0 +1,42 @@
+"""Deterministic counter-based hashing for randomized contraction.
+
+Miller-Reif tree contraction flips an independent coin per (vertex, round).
+We realise the coin flips with splitmix64, a statistically strong mixing
+function, keyed by a per-structure seed.  Because the bits are a pure
+function of ``(seed, vertex, round)``, the entire leveled contraction is a
+pure function of the forest and the seed -- which lets the test suite assert
+that change propagation reproduces a from-scratch rebuild *bit for bit*.
+"""
+
+from __future__ import annotations
+
+_MASK = (1 << 64) - 1
+
+
+def splitmix64(x: int) -> int:
+    """One round of the splitmix64 mixing function (64-bit)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+class HashBits:
+    """A stateless source of per-(vertex, round) random bits and priorities."""
+
+    __slots__ = ("seed",)
+
+    def __init__(self, seed: int = 0x5EED) -> None:
+        self.seed = seed & _MASK
+
+    def bit(self, vertex: int, round_: int) -> int:
+        """An unbiased coin flip in {0, 1} for ``vertex`` at ``round_``."""
+        return splitmix64(self.seed ^ (vertex * 0x100000001B3 + round_)) & 1
+
+    def word(self, vertex: int, round_: int) -> int:
+        """A full 64-bit hash word for ``vertex`` at ``round_``."""
+        return splitmix64(self.seed ^ (vertex * 0x100000001B3 + round_))
+
+    def priority(self, key: int) -> int:
+        """A static 64-bit priority for treaps keyed by ``key``."""
+        return splitmix64(self.seed ^ (key * 0x9E3779B97F4A7C15))

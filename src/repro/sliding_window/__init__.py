@@ -1,0 +1,36 @@
+"""Sliding-window graph data structures (Section 5, Theorems 5.1-5.8).
+
+All structures share the batch sliding-window interface:
+
+- ``batch_insert(edges)`` -- new edges arrive on the new side of the window;
+- ``batch_expire(delta)`` -- the ``delta`` oldest edges leave the old side
+  (only a count is needed, not the edges themselves);
+
+plus problem-specific queries.  Arbitrary interleavings of inserts and
+expirations of arbitrary sizes are allowed; matching them keeps the window
+fixed-size.
+
+Internally every structure weights edge ``e`` by ``-tau(e)`` (its stream
+position), so a heaviest-edge path query returns the *oldest* edge on the
+path -- the recent-edge property (Lemma 5.1) that reduces window
+connectivity to incremental MSF.
+"""
+
+from repro.sliding_window.base import WindowClock
+from repro.sliding_window.connectivity import SWConnectivity, SWConnectivityEager
+from repro.sliding_window.bipartiteness import SWBipartiteness
+from repro.sliding_window.approx_msf import SWApproxMSFWeight
+from repro.sliding_window.kcertificate import SWKCertificate
+from repro.sliding_window.cyclefree import SWCycleFree
+from repro.sliding_window.sparsifier import SWSparsifier
+
+__all__ = [
+    "WindowClock",
+    "SWConnectivity",
+    "SWConnectivityEager",
+    "SWBipartiteness",
+    "SWApproxMSFWeight",
+    "SWKCertificate",
+    "SWCycleFree",
+    "SWSparsifier",
+]

@@ -1,0 +1,44 @@
+"""Shared sliding-window plumbing: the arrival clock.
+
+Every window structure tracks a stream clock: ``t`` is the next arrival
+position (``tau`` of the next edge) and ``tw`` is the position of the
+oldest unexpired edge.  ``batch_expire(delta)`` advances ``tw`` by
+``delta`` (Section 5: "BatchExpire differs from a delete operation ... it
+only expects a count"); composed structures that share a parent's clock
+instead call ``expire_until(tau)``.
+"""
+
+from __future__ import annotations
+
+
+class WindowClock:
+    """The (t, tw) stream clock shared by all Section 5 structures."""
+
+    __slots__ = ("t", "tw")
+
+    def __init__(self) -> None:
+        self.t = 0  # next arrival position
+        self.tw = 0  # oldest unexpired position
+
+    def assign(self, count: int) -> range:
+        """Consume ``count`` arrival positions; returns their tau range."""
+        out = range(self.t, self.t + count)
+        self.t += count
+        return out
+
+    def expire(self, delta: int) -> int:
+        """Advance the window start by ``delta`` items; returns new tw."""
+        if delta < 0:
+            raise ValueError("cannot expire a negative number of edges")
+        self.tw = min(self.t, self.tw + delta)
+        return self.tw
+
+    def expire_until(self, tau: int) -> int:
+        """Advance the window start to ``tau`` (monotone)."""
+        self.tw = min(self.t, max(self.tw, tau))
+        return self.tw
+
+    @property
+    def window_size(self) -> int:
+        """Number of unexpired stream positions."""
+        return self.t - self.tw

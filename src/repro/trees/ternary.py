@@ -1,0 +1,169 @@
+"""Dynamic ternarization: arbitrary-degree forests as bounded-degree forests.
+
+RC trees require constant-degree inputs; the paper notes that "arbitrary
+degree trees can easily be handled by converting them into equivalent bounded
+degree trees ... dynamically at no extra cost" (Section 2.2).  We realise the
+conversion with *vertex copies*: each original vertex ``v`` is a chain of
+internal copies joined by **virtual edges** of weight ``-inf``.  Every copy
+carries at most one real edge and at most two chain links, so internal degree
+is at most 3.  Virtual edges never win a heaviest-edge comparison, and
+compressed-path-tree construction contracts them away, so the ternarized
+forest is query-equivalent to the original.
+
+Freed real-edge slots are recycled through a per-vertex free list, so the
+number of copies of ``v`` is bounded by its maximum concurrent degree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+NEG_INF = float("-inf")
+
+
+@dataclass(frozen=True)
+class InternalLink:
+    """An internal (bounded-degree) edge to add: ``a -- b`` with a weight.
+
+    ``eid`` is the original edge id for real edges and a unique negative id
+    for virtual chain links.
+    """
+
+    a: int
+    b: int
+    w: float
+    eid: int
+
+
+class TernaryForest:
+    """Maps original-vertex edge operations to bounded-degree internal ops.
+
+    Internal copy ids are allocated densely from ``0``; the *canonical* copy
+    of original vertex ``v`` is its first copy.  The structure only manages
+    the correspondence -- the internal forest itself lives in
+    :class:`~repro.trees.rcforest.RCForest`.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("vertex count must be non-negative")
+        self.n = n
+        self._canonical = list(range(n))  # head copy of each original vertex
+        self._tail = list(range(n))  # last copy in each chain
+        self._copy_owner = list(range(n))  # internal copy -> original vertex
+        self._free_slots: list[list[int]] = [[v] for v in range(n)]
+        self._edge_slot: dict[int, tuple[int, int]] = {}  # eid -> (copy_a, copy_b)
+        self._next_virtual_eid = -1
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def num_copies(self) -> int:
+        """Total internal copies allocated so far."""
+        return len(self._copy_owner)
+
+    def canonical(self, v: int) -> int:
+        """The internal copy representing original vertex ``v``."""
+        return self._canonical[v]
+
+    def owner(self, copy: int) -> int:
+        """The original vertex that internal copy ``copy`` belongs to."""
+        return self._copy_owner[copy]
+
+    def has_edge(self, eid: int) -> bool:
+        """Whether real edge ``eid`` is live."""
+        return eid in self._edge_slot
+
+    @staticmethod
+    def is_virtual_eid(eid: int) -> bool:
+        """Whether ``eid`` names a virtual chain link (negative ids)."""
+        return eid < 0
+
+    # -- slot management ---------------------------------------------------
+
+    def _take_slot(self, v: int, out_links: list[InternalLink]) -> int:
+        """A copy of ``v`` with a free real-edge slot, growing the chain if
+        needed (emitting the virtual link into ``out_links``)."""
+        free = self._free_slots[v]
+        if free:
+            return free.pop()
+        new_copy = len(self._copy_owner)
+        self._copy_owner.append(v)
+        tail = self._tail[v]
+        self._tail[v] = new_copy
+        veid = self._next_virtual_eid
+        self._next_virtual_eid -= 1
+        out_links.append(InternalLink(tail, new_copy, NEG_INF, veid))
+        return new_copy
+
+    # -- batch translation -------------------------------------------------
+
+    def validate_batch(
+        self,
+        add: list[tuple[int, int, float, int]] = (),
+        remove: list[int] = (),
+    ) -> None:
+        """Raise (without mutating anything) if the batch is malformed:
+        unknown/duplicate removals, duplicate or reused insert ids,
+        self-loops, or out-of-range endpoints.  Removed ids may be reused by
+        inserts of the same batch."""
+        removed: set[int] = set()
+        for eid in remove:
+            if eid in removed:
+                raise KeyError(f"edge id {eid} removed twice in one batch")
+            if eid not in self._edge_slot:
+                raise KeyError(f"edge id {eid} is not present")
+            removed.add(eid)
+        seen: set[int] = set()
+        for u, v, w, eid in add:
+            if eid < 0:
+                raise ValueError(f"real edge ids must be non-negative, got {eid}")
+            if u == v:
+                raise ValueError(f"self-loop on vertex {u} cannot join a forest")
+            if eid in seen or (eid in self._edge_slot and eid not in removed):
+                raise ValueError(f"duplicate edge id {eid}")
+            if not (0 <= u < self.n and 0 <= v < self.n):
+                raise ValueError(f"endpoint out of range: ({u}, {v})")
+            seen.add(eid)
+
+    def add_edges(
+        self, edges: list[tuple[int, int, float, int]]
+    ) -> list[InternalLink]:
+        """Translate original edges ``(u, v, w, eid)`` into internal links.
+
+        Returns the internal links to apply (virtual chain links first, then
+        the real edges).  Rejects self-loops, duplicate eids within the
+        batch, and eids already present -- validated up-front, so a raise
+        leaves the structure untouched.
+        """
+        self.validate_batch(add=edges)
+        virtuals: list[InternalLink] = []
+        reals: list[InternalLink] = []
+        for u, v, w, eid in edges:
+            ca = self._take_slot(u, virtuals)
+            cb = self._take_slot(v, virtuals)
+            self._edge_slot[eid] = (ca, cb)
+            reals.append(InternalLink(ca, cb, w, eid))
+        return virtuals + reals
+
+    def remove_edges(self, eids: list[int]) -> list[tuple[int, int, int]]:
+        """Translate edge deletions into internal cuts ``(copy_a, copy_b, eid)``.
+
+        Validated up-front (a raise leaves the structure untouched).  The
+        freed slots are returned to their vertices' free lists.  Virtual
+        chain links are *not* removed (empty copies are harmless degree <= 2
+        vertices that the contraction compresses away); this keeps deletion
+        O(1) per edge and space bounded by the high-water degree.
+        """
+        self.validate_batch(remove=list(eids))
+        cuts: list[tuple[int, int, int]] = []
+        for eid in eids:
+            ca, cb = self._edge_slot.pop(eid)
+            self._free_slots[self._copy_owner[ca]].append(ca)
+            self._free_slots[self._copy_owner[cb]].append(cb)
+            cuts.append((ca, cb, eid))
+        return cuts
+
+    def endpoints(self, eid: int) -> tuple[int, int]:
+        """Current internal endpoints of a live real edge."""
+        return self._edge_slot[eid]

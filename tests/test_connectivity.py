@@ -1,0 +1,243 @@
+"""Tests for star-contraction CC, batched union-find, and the incremental
+(Section 5.7 / Table 1 column 1) structures."""
+
+import random
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.connectivity import (
+    BatchUnionFind,
+    IncrementalBipartiteness,
+    IncrementalConnectivity,
+    IncrementalCycleFree,
+    IncrementalKCertificate,
+    connected_components,
+    spanning_forest,
+)
+from repro.runtime import CostModel
+
+
+def random_edges(n, m, rng):
+    out = []
+    while len(out) < m:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            out.append((u, v))
+    return out
+
+
+class TestStarContraction:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_labels_match_networkx(self, seed):
+        rng = random.Random(seed)
+        n, m = 60, 140
+        edges = random_edges(n, m, rng)
+        us = np.array([e[0] for e in edges])
+        vs = np.array([e[1] for e in edges])
+        labels = connected_components(n, us, vs, seed=seed)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(edges)
+        comps = list(nx.connected_components(g))
+        for comp in comps:
+            assert len({labels[v] for v in comp}) == 1
+        assert len({labels[next(iter(c))] for c in comps}) == len(comps)
+
+    def test_empty_and_loops(self):
+        labels = connected_components(4, np.array([1]), np.array([1]))
+        assert len(set(labels.tolist())) == 4
+        labels = connected_components(3, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert labels.tolist() == [0, 1, 2]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_spanning_forest_spans(self, seed):
+        rng = random.Random(100 + seed)
+        n, m = 50, 120
+        edges = random_edges(n, m, rng)
+        us = np.array([e[0] for e in edges])
+        vs = np.array([e[1] for e in edges])
+        pos = spanning_forest(n, us, vs, seed=seed)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(edges)
+        sg = nx.Graph()
+        sg.add_nodes_from(range(n))
+        sg.add_edges_from((int(us[p]), int(vs[p])) for p in pos)
+        assert len(pos) == n - nx.number_connected_components(g)
+        assert nx.number_connected_components(sg) == nx.number_connected_components(g)
+        assert len(sg.edges) == len(pos)  # acyclic: no duplicates
+
+    def test_work_charged_linearish(self):
+        rng = random.Random(1)
+        n, m = 256, 1024
+        edges = random_edges(n, m, rng)
+        cost = CostModel()
+        connected_components(
+            n,
+            np.array([e[0] for e in edges]),
+            np.array([e[1] for e in edges]),
+            cost=cost,
+        )
+        assert 0 < cost.work < 20 * m
+
+
+class TestBatchUnionFind:
+    def test_single_unions(self):
+        uf = BatchUnionFind(5)
+        assert uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.connected(0, 1)
+        assert not uf.connected(0, 2)
+        assert uf.num_components == 4
+
+    def test_batch_union_returns_forest_positions(self):
+        uf = BatchUnionFind(6, seed=3)
+        pos = uf.batch_union([0, 1, 0, 3], [1, 2, 2, 4])
+        # (0,2) closes a cycle given (0,1),(1,2): exactly 3 joins happen.
+        assert len(pos) == 3
+        assert uf.num_components == 3  # {0,1,2}, {3,4}, {5}
+
+    def test_batch_union_empty(self):
+        uf = BatchUnionFind(3)
+        assert uf.batch_union([], []).size == 0
+
+    def test_mismatched_arrays_raise(self):
+        uf = BatchUnionFind(3)
+        with pytest.raises(ValueError):
+            uf.batch_union([0], [1, 2])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx_over_batches(self, seed):
+        rng = random.Random(seed)
+        n = 50
+        uf = BatchUnionFind(n, seed=seed)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        for _ in range(20):
+            edges = random_edges(n, rng.randrange(1, 10), rng)
+            uf.batch_union([e[0] for e in edges], [e[1] for e in edges])
+            g.add_edges_from(edges)
+            assert uf.num_components == nx.number_connected_components(g)
+            for _ in range(6):
+                a, b = rng.randrange(n), rng.randrange(n)
+                assert uf.connected(a, b) == nx.has_path(g, a, b)
+
+
+class TestIncrementalStructures:
+    def test_connectivity_forest_grows(self):
+        ic = IncrementalConnectivity(4)
+        new = ic.batch_insert([(0, 1), (1, 2), (0, 2)])
+        assert len(new) == 2
+        assert ic.num_components == 2
+        assert ic.is_connected(0, 2)
+        assert len(ic.forest_edges) == 2
+
+    def test_bipartiteness_odd_cycle(self):
+        ib = IncrementalBipartiteness(5)
+        ib.batch_insert([(0, 1), (1, 2)])
+        assert ib.is_bipartite()
+        ib.batch_insert([(0, 2)])  # triangle
+        assert not ib.is_bipartite()
+
+    def test_bipartiteness_even_cycle_ok(self):
+        ib = IncrementalBipartiteness(4)
+        ib.batch_insert([(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert ib.is_bipartite()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bipartiteness_random_oracle(self, seed):
+        rng = random.Random(seed)
+        n = 16
+        ib = IncrementalBipartiteness(n, seed=seed)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        for _ in range(35):
+            edges = random_edges(n, rng.randrange(1, 4), rng)
+            ib.batch_insert(edges)
+            g.add_edges_from(edges)
+            assert ib.is_bipartite() == nx.is_bipartite(g)
+
+    def test_cyclefree(self):
+        cf = IncrementalCycleFree(4)
+        cf.batch_insert([(0, 1), (1, 2)])
+        assert not cf.has_cycle()
+        cf.batch_insert([(2, 0)])
+        assert cf.has_cycle()
+
+    def test_cyclefree_self_loop(self):
+        cf = IncrementalCycleFree(3)
+        cf.batch_insert([(1, 1)])
+        assert cf.has_cycle()
+        cf.batch_insert([(0, 1)])  # later inserts still processed
+        assert cf._conn.is_connected(0, 1)
+
+    def test_cyclefree_parallel_edge(self):
+        cf = IncrementalCycleFree(3)
+        cf.batch_insert([(0, 1), (0, 1)])
+        assert cf.has_cycle()
+
+    def test_kcertificate_invalid_k(self):
+        with pytest.raises(ValueError):
+            IncrementalKCertificate(3, k=0)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_kcertificate_preserves_small_cuts(self, k):
+        rng = random.Random(k)
+        n = 10
+        kc = IncrementalKCertificate(n, k=k, seed=k)
+        edges = random_edges(n, 60, rng)
+        kc.batch_insert(edges)
+
+        def multi_ec(rows):
+            g = nx.Graph()
+            g.add_nodes_from(range(n))
+            for u, v in rows:
+                if g.has_edge(u, v):
+                    g[u][v]["weight"] += 1
+                else:
+                    g.add_edge(u, v, weight=1)
+            if nx.number_connected_components(g) > 1:
+                return 0
+            value, _ = nx.stoer_wagner(g)
+            return value
+
+        gec = multi_ec(edges)
+        cec = multi_ec(kc.certificate())
+        assert min(gec, k) == min(cec, k)
+        assert len(kc.certificate()) <= k * (n - 1)
+
+    def test_kcertificate_lower_bound_sound(self):
+        rng = random.Random(5)
+        n = 8
+        kc = IncrementalKCertificate(n, k=3, seed=5)
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        kc.batch_insert(edges)
+        g = nx.Graph(edges)
+        for _ in range(10):
+            u, v = rng.sample(range(n), 2)
+            lb = kc.connectivity_lower_bound(u, v)
+            if lb:
+                assert nx.edge_connectivity(g, u, v) >= lb
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(2, 20),
+    edges=st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=60),
+    seed=st.integers(0, 100),
+)
+def test_property_components_match(n, edges, seed):
+    edges = [(u % n, v % n) for u, v in edges if u % n != v % n]
+    us = np.array([e[0] for e in edges], dtype=np.int64)
+    vs = np.array([e[1] for e in edges], dtype=np.int64)
+    labels = connected_components(n, us, vs, seed=seed)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(edges)
+    for u in range(n):
+        for v in range(n):
+            assert (labels[u] == labels[v]) == nx.has_path(g, u, v)

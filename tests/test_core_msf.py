@@ -1,0 +1,243 @@
+"""Tests for Algorithm 2 (BatchIncrementalMSF) and the sequential baseline.
+
+The oracle is Kruskal over the cumulative edge multiset after every batch:
+because ties break by edge id, the MSF is unique and the comparison is
+edge-for-edge, not just by weight.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import BatchIncrementalMSF, SequentialIncrementalMSF
+from repro.msf import EdgeArray, kruskal_msf
+from repro.runtime import CostModel
+
+
+def oracle_msf_eids(n, all_edges):
+    ea = EdgeArray.from_tuples(n, all_edges)
+    return sorted(ea.eid[kruskal_msf(ea)].tolist())
+
+
+class TestSingleBatch:
+    def test_insert_into_empty(self):
+        m = BatchIncrementalMSF(4)
+        rep = m.batch_insert([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+        assert sorted(e[3] for e in rep.inserted) == [0, 1]
+        assert [e[3] for e in rep.rejected] == [2]
+        assert m.num_msf_edges == 2
+        assert m.connected(0, 2)
+        assert m.num_components == 2  # {0,1,2} and {3}
+
+    def test_self_loop_rejected(self):
+        m = BatchIncrementalMSF(3)
+        rep = m.batch_insert([(1, 1, 5.0)])
+        assert len(rep.rejected) == 1 and not rep.inserted
+        assert m.num_msf_edges == 0
+
+    def test_empty_batch(self):
+        m = BatchIncrementalMSF(3)
+        rep = m.batch_insert([])
+        assert not rep.inserted and not rep.evicted and not rep.rejected
+
+    def test_parallel_edges_in_one_batch(self):
+        m = BatchIncrementalMSF(2)
+        rep = m.batch_insert([(0, 1, 5.0), (0, 1, 1.0), (1, 0, 3.0)])
+        assert [e[3] for e in rep.inserted] == [1]
+        assert sorted(e[3] for e in rep.rejected) == [0, 2]
+
+    def test_eviction_across_batches(self):
+        m = BatchIncrementalMSF(3)
+        m.batch_insert([(0, 1, 10.0), (1, 2, 20.0)])
+        rep = m.batch_insert([(0, 2, 5.0)])
+        assert [e[3] for e in rep.inserted] == [2]
+        assert [e[3] for e in rep.evicted] == [1]  # the 20.0 edge leaves
+        assert m.total_weight() == pytest.approx(15.0)
+
+    def test_weight_tie_older_edge_wins(self):
+        m = BatchIncrementalMSF(3)
+        m.batch_insert([(0, 1, 1.0), (1, 2, 1.0)])
+        rep = m.batch_insert([(0, 2, 1.0)])
+        assert not rep.inserted and not rep.evicted
+        assert [e[3] for e in rep.rejected] == [2]
+
+    def test_explicit_eids_respected(self):
+        m = BatchIncrementalMSF(3)
+        rep = m.batch_insert([(0, 1, 1.0, 100), (1, 2, 1.0, 50)])
+        assert sorted(e[3] for e in rep.inserted) == [50, 100]
+        with pytest.raises(ValueError):
+            m.batch_insert([(0, 2, 1.0, 100)])  # reused id
+
+    def test_negative_eid_rejected(self):
+        m = BatchIncrementalMSF(3)
+        with pytest.raises(ValueError):
+            m.batch_insert([(0, 1, 1.0, -2)])
+
+    def test_out_of_range_vertex_rejected(self):
+        m = BatchIncrementalMSF(3)
+        with pytest.raises(ValueError):
+            m.batch_insert([(0, 7, 1.0)])
+
+    def test_malformed_row_rejected(self):
+        m = BatchIncrementalMSF(3)
+        with pytest.raises(ValueError):
+            m.batch_insert([(0, 1)])
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            BatchIncrementalMSF(3, kernel="quantum")
+
+    def test_whole_graph_as_one_batch_matches_kruskal(self):
+        rng = random.Random(0)
+        n, m_edges = 60, 250
+        rows = [
+            (rng.randrange(n), rng.randrange(n), rng.uniform(0, 1), i)
+            for i in range(m_edges)
+        ]
+        rows = [r for r in rows if r[0] != r[1]]
+        m = BatchIncrementalMSF(n)
+        m.batch_insert(rows)
+        assert sorted(e[3] for e in m.msf_edges()) == oracle_msf_eids(n, rows)
+
+
+class TestQueryInterface:
+    def test_heaviest_edge_on_msf_path(self):
+        m = BatchIncrementalMSF(4)
+        m.batch_insert([(0, 1, 3.0), (1, 2, 9.0), (2, 3, 5.0)])
+        assert m.heaviest_edge(0, 3) == (9.0, 1)
+        assert m.heaviest_edge(0, 0) is None
+
+    def test_heaviest_edge_disconnected(self):
+        m = BatchIncrementalMSF(4)
+        m.batch_insert([(0, 1, 3.0)])
+        assert m.heaviest_edge(0, 3) is None
+
+    def test_has_edge_and_components(self):
+        m = BatchIncrementalMSF(5)
+        rep = m.batch_insert([(0, 1, 1.0), (2, 3, 1.0)])
+        assert all(m.has_edge(e[3]) for e in rep.inserted)
+        assert m.num_components == 3
+
+    def test_forget_edges(self):
+        m = BatchIncrementalMSF(3)
+        rep = m.batch_insert([(0, 1, 1.0), (1, 2, 2.0)])
+        m.forget_edges([rep.inserted[0][3]])
+        assert m.num_msf_edges == 1
+        assert not m.connected(0, 1)
+
+
+class TestKernelsAgree:
+    @pytest.mark.parametrize("kernel", ["kkt", "kruskal", "boruvka", "prim"])
+    def test_all_kernels_same_msf(self, kernel):
+        rng = random.Random(7)
+        n = 30
+        m = BatchIncrementalMSF(n, kernel=kernel)
+        all_edges = []
+        for _ in range(15):
+            batch = []
+            for _ in range(rng.randrange(1, 8)):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u == v:
+                    continue
+                batch.append((u, v, rng.uniform(0, 10), len(all_edges) + len(batch)))
+            m.batch_insert(batch)
+            all_edges.extend(batch)
+        assert sorted(e[3] for e in m.msf_edges()) == oracle_msf_eids(n, all_edges)
+
+
+class TestRandomizedOracle:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_batches_match_kruskal_every_step(self, seed):
+        rng = random.Random(seed)
+        n = 40
+        m = BatchIncrementalMSF(n, seed=seed)
+        s = SequentialIncrementalMSF(n, seed=seed + 1)
+        all_edges = []
+        for step in range(20):
+            raw = []
+            for _ in range(rng.randrange(1, 9)):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u != v:
+                    raw.append((u, v, round(rng.uniform(0, 10), 3)))
+            batch = [
+                (u, v, w, len(all_edges) + i) for i, (u, v, w) in enumerate(raw)
+            ]
+            m.batch_insert(batch)
+            s.batch_insert(batch)
+            all_edges.extend(batch)
+            expect = oracle_msf_eids(n, all_edges)
+            assert sorted(e[3] for e in m.msf_edges()) == expect, f"batch step {step}"
+            assert sorted(e[3] for e in s.msf_edges()) == expect, f"seq step {step}"
+            assert m.total_weight() == pytest.approx(s.total_weight())
+
+    def test_report_reconstructs_msf(self):
+        rng = random.Random(11)
+        n = 25
+        m = BatchIncrementalMSF(n)
+        held = set()
+        for _ in range(15):
+            batch = []
+            for _ in range(rng.randrange(1, 6)):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u != v:
+                    batch.append((u, v, rng.uniform(0, 5)))
+            rep = m.batch_insert(batch)
+            held |= {e[3] for e in rep.inserted}
+            held -= {e[3] for e in rep.evicted}
+            assert held == {e[3] for e in m.msf_edges()}
+            # An edge is never both inserted and rejected.
+            assert not ({e[3] for e in rep.inserted} & {e[3] for e in rep.rejected})
+
+
+class TestWorkBounds:
+    def test_batch_work_beats_sequential_for_large_batches(self):
+        rng = random.Random(3)
+        n = 1024
+        rows = []
+        for i in range(n - 1):
+            rows.append((rng.randrange(i + 1), i + 1, rng.uniform(0, 1), i))
+        extra = [
+            (rng.randrange(n), rng.randrange(n), rng.uniform(0, 1), n + j)
+            for j in range(500)
+        ]
+        extra = [e for e in extra if e[0] != e[1]]
+
+        cb = CostModel()
+        b = BatchIncrementalMSF(n, cost=cb)
+        b.batch_insert(rows)
+        b.batch_insert(extra)
+
+        cs = CostModel()
+        s = SequentialIncrementalMSF(n, cost=cs)
+        s.batch_insert(rows)
+        s.batch_insert(extra)
+
+        assert sorted(e[3] for e in b.msf_edges()) == sorted(
+            e[3] for e in s.msf_edges()
+        )
+        assert cb.work < cs.work, "batch algorithm must be more work-efficient"
+        assert cb.span < cs.span / 5, "batch algorithm must be much shallower"
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_property_batch_msf_equals_kruskal(data):
+    n = data.draw(st.integers(2, 18))
+    m = BatchIncrementalMSF(n, seed=data.draw(st.integers(0, 999)))
+    all_edges = []
+    for _ in range(data.draw(st.integers(1, 5))):
+        ell = data.draw(st.integers(1, 7))
+        batch = []
+        for _ in range(ell):
+            u = data.draw(st.integers(0, n - 1))
+            v = data.draw(st.integers(0, n - 1))
+            if u == v:
+                continue
+            w = float(data.draw(st.integers(0, 8)))  # many ties on purpose
+            batch.append((u, v, w, len(all_edges) + len(batch)))
+        m.batch_insert(batch)
+        all_edges.extend(batch)
+    if all_edges:
+        assert sorted(e[3] for e in m.msf_edges()) == oracle_msf_eids(n, all_edges)

@@ -1,0 +1,191 @@
+"""Tests for compressed path trees (Section 3) over the DynamicForest."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import CostModel
+from repro.trees import DynamicForest
+
+
+def brute_path_max(g, u, v):
+    if u == v or u not in g or v not in g or not nx.has_path(g, u, v):
+        return None
+    path = nx.shortest_path(g, u, v)
+    return max((g[a][b]["w"], g[a][b]["eid"]) for a, b in zip(path, path[1:]))
+
+
+def nx_of(forest_edges):
+    g = nx.Graph()
+    for u, v, w, eid in forest_edges:
+        g.add_edge(u, v, w=w, eid=eid)
+    return g
+
+
+class TestSmallCases:
+    def test_single_marked_vertex(self):
+        f = DynamicForest(4)
+        f.batch_link([(0, 1, 1.0, 0), (1, 2, 2.0, 1)])
+        cpt = f.compressed_path_tree([1])
+        assert cpt.vertices == [1]
+        assert cpt.edges == []
+
+    def test_two_marked_on_path(self):
+        f = DynamicForest(5)
+        f.batch_link([(i, i + 1, float(10 - i), i) for i in range(4)])
+        cpt = f.compressed_path_tree([0, 4])
+        assert cpt.vertices == [0, 4]
+        assert len(cpt.edges) == 1
+        a, b, w, eid = cpt.edges[0]
+        assert {a, b} == {0, 4}
+        assert (w, eid) == (10.0, 0)  # heaviest edge is the first one
+
+    def test_disconnected_marks(self):
+        f = DynamicForest(4)
+        f.batch_link([(0, 1, 1.0, 0)])
+        cpt = f.compressed_path_tree([0, 1, 3])
+        assert cpt.vertices == [0, 1, 3]
+        assert len(cpt.edges) == 1  # only 0--1 connected
+
+    def test_steiner_vertex_appears_at_branch(self):
+        # Star: center 0, marked leaves 1, 2, 3 -> center is Steiner.
+        f = DynamicForest(5)
+        f.batch_link([(0, i, float(i), i) for i in (1, 2, 3, 4)])
+        cpt = f.compressed_path_tree([1, 2, 3])
+        assert set(cpt.vertices) == {0, 1, 2, 3}
+        assert sorted((min(a, b), max(a, b)) for a, b, _, _ in cpt.edges) == [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+        ]
+
+    def test_degree_two_steiner_is_spliced(self):
+        # Path 0-1-2 with only endpoints marked: 1 must be spliced out.
+        f = DynamicForest(3)
+        f.batch_link([(0, 1, 5.0, 0), (1, 2, 7.0, 1)])
+        cpt = f.compressed_path_tree([0, 2])
+        assert cpt.vertices == [0, 2]
+        assert cpt.edges[0][2:] == (7.0, 1)
+
+    def test_marked_degree_two_vertex_stays(self):
+        f = DynamicForest(3)
+        f.batch_link([(0, 1, 5.0, 0), (1, 2, 7.0, 1)])
+        cpt = f.compressed_path_tree([0, 1, 2])
+        assert cpt.vertices == [0, 1, 2]
+        assert len(cpt.edges) == 2
+
+    def test_out_of_range_mark_raises(self):
+        f = DynamicForest(3)
+        with pytest.raises(KeyError):
+            f.compressed_path_tree([7])
+
+    def test_high_degree_vertex_marked(self):
+        # Marked center of a star: ternarization copies must merge back.
+        f = DynamicForest(8)
+        f.batch_link([(0, i, float(i), i) for i in range(1, 8)])
+        cpt = f.compressed_path_tree([0, 3, 6])
+        assert set(cpt.vertices) == {0, 3, 6}
+        pairs = sorted((min(a, b), max(a, b)) for a, b, _, _ in cpt.edges)
+        assert pairs == [(0, 3), (0, 6)]
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_pairwise_path_max_preserved(self, seed):
+        rng = random.Random(seed)
+        n = 30
+        f = DynamicForest(n, seed=seed)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        links, eid = [], 0
+        for _ in range(40):
+            a, b = rng.randrange(n), rng.randrange(n)
+            if a == b or (a in g and b in g and nx.has_path(g, a, b)):
+                continue
+            w = rng.uniform(0, 10)
+            links.append((a, b, w, eid))
+            g.add_edge(a, b, w=w, eid=eid)
+            eid += 1
+        f.batch_link(links)
+        marks = sorted(rng.sample(range(n), 6))
+        cpt = f.compressed_path_tree(marks)
+        cg = nx_of(cpt.edges)
+        for v in cpt.vertices:
+            cg.add_node(v)
+        for i, a in enumerate(marks):
+            for b in marks[i + 1 :]:
+                assert brute_path_max(cg, a, b) == brute_path_max(g, a, b)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_minimality_and_size(self, seed):
+        rng = random.Random(100 + seed)
+        n = 40
+        f = DynamicForest(n, seed=seed)
+        links = [(rng.randrange(v), v, rng.uniform(0, 1), v) for v in range(1, n)]
+        f.batch_link(links)
+        ell = rng.randrange(1, 10)
+        marks = sorted(rng.sample(range(n), ell))
+        cpt = f.compressed_path_tree(marks)
+        cg = nx_of(cpt.edges)
+        for v in cpt.vertices:
+            cg.add_node(v)
+        for v in cpt.vertices:
+            if v not in cpt.marked:
+                assert cg.degree(v) >= 3, "unmarked vertex of degree < 3 survived"
+        assert len(cpt.vertices) <= 2 * ell  # Lemma 3.2: O(l) vertices
+        assert len(cpt.edges) < 2 * ell
+
+    def test_edge_ids_identify_physical_edges(self):
+        f = DynamicForest(6)
+        links = [(0, 1, 3.0, 10), (1, 2, 9.0, 11), (2, 3, 1.0, 12), (3, 4, 4.0, 13)]
+        f.batch_link(links)
+        cpt = f.compressed_path_tree([0, 4])
+        ((_, _, w, eid),) = cpt.edges
+        assert (w, eid) == (9.0, 11)
+        u, v, w2 = f.edge_info(eid)
+        assert {u, v} == {1, 2} and w2 == 9.0
+
+    def test_cost_scales_with_marks_not_n(self):
+        n = 2048
+        cost = CostModel()
+        f = DynamicForest(n, seed=2, cost=cost)
+        f.batch_link([(i, i + 1, float(i % 7), i) for i in range(n - 1)])
+        snap = cost.snapshot()
+        f.compressed_path_tree([0, n // 2, n - 1])
+        small = cost.since(snap).work
+        snap = cost.snapshot()
+        f.compressed_path_tree(list(range(0, n, 2)))
+        large = cost.since(snap).work
+        assert small < n // 4, "CPT of 3 marks should not scan the whole tree"
+        assert large > small
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_property_cpt_preserves_all_pairs(data):
+    n = data.draw(st.integers(2, 20))
+    seed = data.draw(st.integers(0, 1000))
+    f = DynamicForest(n, seed=seed)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    links = []
+    for v in range(1, n):
+        if data.draw(st.booleans()):
+            p = data.draw(st.integers(0, v - 1))
+            w = float(data.draw(st.integers(0, 50)))
+            links.append((p, v, w, v))
+            g.add_edge(p, v, w=w, eid=v)
+    if links:
+        f.batch_link(links)
+    ell = data.draw(st.integers(1, min(n, 6)))
+    marks = sorted(data.draw(st.sets(st.integers(0, n - 1), min_size=ell, max_size=ell)))
+    cpt = f.compressed_path_tree(marks)
+    cg = nx_of(cpt.edges)
+    for v in cpt.vertices:
+        cg.add_node(v)
+    for i, a in enumerate(marks):
+        for b in marks[i + 1 :]:
+            assert brute_path_max(cg, a, b) == brute_path_max(g, a, b)

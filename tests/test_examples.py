@@ -1,0 +1,37 @@
+"""Smoke tests: every example script runs to completion and prints the
+landmarks its narrative promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ["total weight now", "compressed path tree", "work ="],
+    "social_stream_monitoring.py": ["communities", "bipartite"],
+    "network_telemetry.py": ["backbone cost", "certificate"],
+    "sparsify_and_cut.py": ["sparsifier:", "global min cut"],
+    "fleet_dispatch.py": ["route", "diameter", "O(lg n)"],
+    "similarity_clustering.py": ["clusters", "dendrogram"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    for landmark in CASES[script]:
+        assert landmark in proc.stdout, (script, landmark, proc.stdout[-500:])
+
+
+def test_all_examples_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(CASES), "new example? add landmarks above"

@@ -1,0 +1,126 @@
+"""Failure injection: malformed batches must raise *before* mutating state.
+
+Every rejection path is followed by a full invariant check and a
+from-scratch snapshot comparison, proving the failed call was atomic.
+"""
+
+import pytest
+
+from repro.core import BatchIncrementalMSF
+from repro.trees import DynamicForest
+
+
+def snapshot_state(f: DynamicForest):
+    return (f.rc.snapshot(), sorted(f.edges()), f.num_components)
+
+
+@pytest.fixture()
+def forest():
+    f = DynamicForest(8, seed=5)
+    f.batch_link([(0, 1, 1.0, 0), (1, 2, 2.0, 1), (3, 4, 3.0, 2)])
+    return f
+
+
+class TestForestRejections:
+    def test_cut_unknown_edge_is_atomic(self, forest):
+        before = snapshot_state(forest)
+        with pytest.raises(KeyError):
+            forest.batch_cut([99])
+        assert snapshot_state(forest) == before
+
+    def test_cut_same_edge_twice_is_atomic(self, forest):
+        before = snapshot_state(forest)
+        with pytest.raises(KeyError):
+            forest.batch_cut([0, 0])
+        assert snapshot_state(forest) == before
+        forest.batch_cut([0])  # a clean retry still works
+
+    def test_mixed_batch_with_bad_cut_leaves_links_unapplied(self, forest):
+        before = snapshot_state(forest)
+        with pytest.raises(KeyError):
+            forest.batch_update(links=[(5, 6, 1.0, 10)], cut_eids=[0, 77])
+        assert snapshot_state(forest) == before
+        assert not forest.has_edge(10)
+
+    def test_self_loop_link_is_atomic(self, forest):
+        before = snapshot_state(forest)
+        with pytest.raises(ValueError):
+            forest.batch_link([(5, 6, 1.0, 10), (7, 7, 1.0, 11)])
+        assert snapshot_state(forest) == before
+
+    def test_duplicate_eid_within_batch_is_atomic(self, forest):
+        before = snapshot_state(forest)
+        with pytest.raises(ValueError):
+            forest.batch_link([(5, 6, 1.0, 10), (6, 7, 1.0, 10)])
+        assert snapshot_state(forest) == before
+
+    def test_reusing_live_eid_is_atomic(self, forest):
+        before = snapshot_state(forest)
+        with pytest.raises(ValueError):
+            forest.batch_link([(5, 6, 1.0, 0)])
+        assert snapshot_state(forest) == before
+
+    def test_cut_and_relink_same_eid_in_one_batch_allowed(self, forest):
+        forest.batch_update(links=[(5, 6, 9.0, 0)], cut_eids=[0])
+        assert forest.edge_info(0) == (5, 6, 9.0)
+
+    def test_out_of_range_endpoint_is_atomic(self, forest):
+        before = snapshot_state(forest)
+        with pytest.raises(ValueError):
+            forest.batch_link([(0, 99, 1.0, 10)])
+        assert snapshot_state(forest) == before
+
+    def test_negative_eid_is_atomic(self, forest):
+        before = snapshot_state(forest)
+        with pytest.raises(ValueError):
+            forest.batch_link([(5, 6, 1.0, -1)])
+        assert snapshot_state(forest) == before
+
+
+class TestForestChecking:
+    def test_check_forest_rejects_cycle(self, forest):
+        with pytest.raises(ValueError, match="cycle"):
+            forest.batch_update(links=[(0, 2, 1.0, 10)], check_forest=True)
+        assert not forest.has_edge(10)
+        forest.rc.check_invariants()
+
+    def test_check_forest_rejects_cycle_within_batch(self, forest):
+        # The two links individually join distinct components, but together
+        # they close a cycle.
+        with pytest.raises(ValueError, match="cycle"):
+            forest.batch_update(
+                links=[(0, 3, 1.0, 10), (2, 4, 1.0, 11)], check_forest=True
+            )
+        forest.rc.check_invariants()
+
+    def test_check_forest_accepts_valid_batch(self, forest):
+        forest.batch_update(
+            links=[(2, 3, 1.0, 10), (5, 6, 1.0, 11)], check_forest=True
+        )
+        assert forest.num_edges == 5
+        forest.rc.check_invariants()
+
+    def test_check_forest_allows_relink_after_cut(self, forest):
+        # Cutting 0 disconnects {0} from {1,2}; relinking 0-2 is legal.
+        forest.batch_update(
+            links=[(0, 2, 7.0, 10)], cut_eids=[0], check_forest=True
+        )
+        assert forest.connected(0, 2)
+        forest.rc.check_invariants()
+
+
+class TestMSFRejections:
+    def test_failed_batch_leaves_msf_intact(self):
+        m = BatchIncrementalMSF(5)
+        m.batch_insert([(0, 1, 1.0), (1, 2, 2.0)])
+        before = sorted(m.msf_edges())
+        with pytest.raises(ValueError):
+            m.batch_insert([(0, 9, 1.0)])  # out of range
+        assert sorted(m.msf_edges()) == before
+
+    def test_forget_unknown_edge_raises(self):
+        m = BatchIncrementalMSF(3)
+        m.batch_insert([(0, 1, 1.0)])
+        with pytest.raises(KeyError):
+            m.forget_edges([42])
+        assert m.num_msf_edges == 1

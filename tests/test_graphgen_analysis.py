@@ -1,0 +1,137 @@
+"""Tests for the workload generators and the bound-fitting helpers."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.analysis import BOUND_MODELS, fit_constant, format_table, goodness_of_fit
+from repro.analysis.fitting import best_model
+from repro.graphgen import (
+    bipartite_stream,
+    cycle_pulse_stream,
+    gnm_edges,
+    grid_edges,
+    path_edges,
+    preferential_attachment_edges,
+    random_tree_edges,
+    sliding_window_stream,
+    star_edges,
+    weighted_stream,
+)
+
+
+class TestGenerators:
+    def test_gnm_shape(self):
+        rng = random.Random(0)
+        edges = gnm_edges(10, 25, rng)
+        assert len(edges) == 25
+        assert all(u != v and 0 <= u < 10 and 0 <= v < 10 for u, v, _ in edges)
+
+    def test_path_star_tree_are_trees(self):
+        rng = random.Random(1)
+        for edges, n in [
+            (path_edges(10), 10),
+            (star_edges(10), 10),
+            (random_tree_edges(10, rng), 10),
+        ]:
+            g = nx.Graph()
+            g.add_nodes_from(range(n))
+            g.add_edges_from((u, v) for u, v, _ in edges)
+            assert nx.is_tree(g)
+
+    def test_grid(self):
+        edges = grid_edges(4)
+        assert len(edges) == 2 * 4 * 3
+        g = nx.Graph((u, v) for u, v, _ in edges)
+        assert nx.is_connected(g)
+
+    def test_preferential_attachment_connected_and_skewed(self):
+        rng = random.Random(2)
+        edges = preferential_attachment_edges(200, 2, rng)
+        g = nx.Graph()
+        g.add_nodes_from(range(200))
+        g.add_edges_from((u, v) for u, v, _ in edges)
+        assert nx.is_connected(g)
+        degs = sorted((d for _, d in g.degree()), reverse=True)
+        assert degs[0] >= 4 * (sum(degs) / len(degs))  # heavy head
+
+    def test_stream_window_invariant(self):
+        rng = random.Random(3)
+        stream = sliding_window_stream(20, rounds=15, batch_size=6, window=20, rng=rng)
+        live = 0
+        for b in stream:
+            live += len(b.edges) - b.expire
+            assert live <= 20
+            assert b.expire >= 0
+
+    def test_weighted_stream_weights_in_range(self):
+        rng = random.Random(4)
+        stream = weighted_stream(10, 5, 4, 10, rng, weight_range=(1.0, 9.0))
+        for b in stream:
+            assert all(1.0 <= w <= 9.0 for _, _, w in b.edges)
+
+    def test_bipartite_stream_violations(self):
+        rng = random.Random(5)
+        stream = bipartite_stream(20, rounds=10, batch_size=4, window=100, rng=rng, violation_every=2)
+        intra = sum(
+            1 for b in stream for u, v in b.edges if u % 2 == v % 2
+        )
+        assert intra >= 3  # violations do occur
+
+    def test_cycle_pulse_stream(self):
+        rng = random.Random(6)
+        stream = cycle_pulse_stream(20, rounds=12, window=100, rng=rng, pulse_every=3)
+        assert sum(len(b.edges) for b in stream) >= 36
+
+
+class TestFitting:
+    def test_fit_recovers_planted_constant(self):
+        xs = [(ell, 1024) for ell in (1, 4, 16, 64, 256, 1024)]
+        model = BOUND_MODELS["l*lg(1+n/l)"]
+        ys = [3.7 * model(*x) for x in xs]
+        c, resid = goodness_of_fit(xs, ys, model)
+        assert c == pytest.approx(3.7)
+        assert resid < 1e-12
+
+    def test_wrong_model_fits_poorly(self):
+        xs = [(ell, 4096) for ell in (1, 4, 16, 64, 256, 1024, 4096)]
+        truth = BOUND_MODELS["l*lg(1+n/l)"]
+        ys = [2.0 * truth(*x) for x in xs]
+        _, resid_right = goodness_of_fit(xs, ys, truth)
+        _, resid_const_n = goodness_of_fit(xs, ys, BOUND_MODELS["n"])
+        assert resid_right < 0.01 < resid_const_n
+
+    def test_best_model_selects_truth(self):
+        xs = [(ell, 4096) for ell in (1, 8, 64, 512, 4096)]
+        truth = BOUND_MODELS["l*lg(1+n/l)"]
+        ys = [5.0 * truth(*x) + 0.5 for x in xs]
+        name, _, _ = best_model(xs, ys, names=["l*lg(1+n/l)", "n", "lg^2(n)"])
+        assert name == "l*lg(1+n/l)"
+
+    def test_zero_model_raises(self):
+        with pytest.raises(ValueError):
+            fit_constant([(1, 1)], [1.0], lambda ell, n: 0.0)
+
+    def test_models_are_sane(self):
+        assert BOUND_MODELS["l"](7, 100) == 7.0
+        assert BOUND_MODELS["n"](7, 100) == 100.0
+        assert BOUND_MODELS["l*lg(n)"](2, 16) == pytest.approx(8.0)
+        assert BOUND_MODELS["lg^2(n)"](1, 16) == pytest.approx(16.0)
+        assert BOUND_MODELS["l*alpha(n)"](10, 10**6) == pytest.approx(40.0)
+        # l*lg(1+n/l) at l=n is l*lg(2) = l.
+        assert BOUND_MODELS["l*lg(1+n/l)"](64, 64) == pytest.approx(64.0)
+
+
+class TestTable:
+    def test_format_table_alignment(self):
+        s = format_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+        lines = s.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len({len(l) for l in lines[2:]}) <= 2  # consistent widths
+
+    def test_format_table_no_title(self):
+        s = format_table(["x"], [["y"]])
+        assert s.splitlines()[0].strip() == "x"

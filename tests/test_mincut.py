@@ -1,0 +1,84 @@
+"""Tests for the Stoer-Wagner global minimum cut."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mincut import global_min_cut
+from repro.mincut.stoer_wagner import is_k_connected
+
+
+def nx_min_cut(n, edges):
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for u, v in edges:
+        if g.has_edge(u, v):
+            g[u][v]["weight"] += 1
+        else:
+            g.add_edge(u, v, weight=1)
+    if nx.number_connected_components(g) > 1:
+        return 0.0
+    value, _ = nx.stoer_wagner(g)
+    return float(value)
+
+
+class TestSmall:
+    def test_trivial_graphs(self):
+        assert global_min_cut(0, []) == float("inf")
+        assert global_min_cut(1, []) == float("inf")
+        assert global_min_cut(2, []) == 0.0
+        assert global_min_cut(2, [(0, 1)]) == 1.0
+
+    def test_self_loops_ignored(self):
+        assert global_min_cut(2, [(0, 0), (0, 1), (1, 1)]) == 1.0
+
+    def test_parallel_edges_accumulate(self):
+        assert global_min_cut(2, [(0, 1), (0, 1), (1, 0)]) == 3.0
+
+    def test_triangle(self):
+        assert global_min_cut(3, [(0, 1), (1, 2), (2, 0)]) == 2.0
+
+    def test_weighted_edges(self):
+        assert global_min_cut(3, [(0, 1, 5.0), (1, 2, 2.0), (2, 0, 1.0)]) == 3.0
+
+    def test_bridge(self):
+        # Two triangles joined by one edge: min cut is the bridge.
+        edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]
+        assert global_min_cut(6, edges) == 1.0
+
+    def test_complete_graph(self):
+        n = 6
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        assert global_min_cut(n, edges) == n - 1
+
+    def test_is_k_connected(self):
+        edges = [(0, 1), (1, 2), (2, 0)]
+        assert is_k_connected(3, edges, 2)
+        assert not is_k_connected(3, edges, 3)
+        assert is_k_connected(1, [], 99)
+
+
+class TestRandomOracle:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_networkx(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(2, 14)
+        edges = []
+        for _ in range(rng.randrange(0, 36)):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                edges.append((u, v))
+        assert global_min_cut(n, edges) == nx_min_cut(n, edges)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(2, 10),
+    edges=st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=30),
+)
+def test_property_min_cut_matches(n, edges):
+    edges = [(u % n, v % n) for u, v in edges if u % n != v % n]
+    assert global_min_cut(n, edges) == nx_min_cut(n, edges)

@@ -1,0 +1,211 @@
+"""Unit, oracle and property tests for the static MSF kernels.
+
+All four kernels (Kruskal, Boruvka, Prim, KKT) must select the *identical*
+edge set because ties break by edge id, making the MSF unique.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.msf import (
+    EdgeArray,
+    boruvka_msf,
+    canonical_edges,
+    filter_kruskal_msf,
+    kkt_msf,
+    kruskal_msf,
+    prim_msf,
+)
+from repro.runtime import CostModel
+
+from tests.helpers import (
+    is_forest,
+    msf_weight_of,
+    nx_msf_weight,
+    random_edge_array,
+    spans_same_components,
+)
+
+KERNELS = {
+    "kruskal": kruskal_msf,
+    "filter-kruskal": filter_kruskal_msf,
+    "boruvka": boruvka_msf,
+    "prim": prim_msf,
+    "kkt": kkt_msf,
+}
+
+
+@pytest.fixture(params=sorted(KERNELS))
+def kernel(request):
+    return KERNELS[request.param]
+
+
+class TestEdgeArray:
+    def test_from_tuples_assigns_eids(self):
+        e = EdgeArray.from_tuples(3, [(0, 1, 0.5), (1, 2, 0.25)])
+        assert e.eid.tolist() == [0, 1]
+        assert e.m == 2
+
+    def test_explicit_eids(self):
+        e = EdgeArray.from_tuples(3, [(0, 1, 0.5, 10), (1, 2, 0.25, 20)])
+        assert e.eid.tolist() == [10, 20]
+
+    def test_out_of_range_endpoint_raises(self):
+        with pytest.raises(ValueError):
+            EdgeArray.from_tuples(2, [(0, 2, 1.0)])
+
+    def test_mismatched_arrays_raise(self):
+        z = np.zeros(2, dtype=np.int64)
+        with pytest.raises(ValueError):
+            EdgeArray(3, z, z, np.zeros(3), z)
+
+    def test_weight_order_breaks_ties_by_eid(self):
+        e = EdgeArray.from_tuples(4, [(0, 1, 1.0, 5), (1, 2, 1.0, 2), (2, 3, 0.5, 9)])
+        assert e.weight_order().tolist() == [2, 1, 0]
+
+    def test_concat_and_take(self):
+        a = EdgeArray.from_tuples(4, [(0, 1, 1.0)])
+        b = EdgeArray.from_tuples(4, [(2, 3, 2.0, 7)])
+        c = a.concat(b)
+        assert c.m == 2
+        sub = c.take(np.array([1]))
+        assert sub.u.tolist() == [2]
+
+    def test_concat_vertex_mismatch_raises(self):
+        a = EdgeArray.from_tuples(4, [])
+        b = EdgeArray.from_tuples(5, [])
+        with pytest.raises(ValueError):
+            a.concat(b)
+
+    def test_canonical_drops_loops_and_parallels(self):
+        e = EdgeArray.from_tuples(
+            3,
+            [(0, 0, 1.0, 0), (0, 1, 2.0, 1), (1, 0, 1.5, 2), (1, 2, 3.0, 3)],
+        )
+        c = canonical_edges(e)
+        assert c.m == 2
+        assert set(c.eid.tolist()) == {2, 3}  # keeps the lighter parallel edge
+
+    def test_canonical_parallel_tie_breaks_by_eid(self):
+        e = EdgeArray.from_tuples(2, [(0, 1, 1.0, 9), (1, 0, 1.0, 3)])
+        c = canonical_edges(e)
+        assert c.eid.tolist() == [3]
+
+
+class TestKernelsSmall:
+    def test_triangle(self, kernel):
+        e = EdgeArray.from_tuples(3, [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+        pos = kernel(e)
+        assert sorted(pos.tolist()) == [0, 1]
+
+    def test_empty_graph(self, kernel):
+        e = EdgeArray.from_tuples(5, [])
+        assert kernel(e).size == 0
+
+    def test_single_edge(self, kernel):
+        e = EdgeArray.from_tuples(2, [(0, 1, 1.0)])
+        assert kernel(e).tolist() == [0]
+
+    def test_self_loops_ignored(self, kernel):
+        e = EdgeArray.from_tuples(2, [(0, 0, 0.1), (0, 1, 5.0), (1, 1, 0.2)])
+        assert kernel(e).tolist() == [1]
+
+    def test_parallel_edges_pick_lightest(self, kernel):
+        e = EdgeArray.from_tuples(2, [(0, 1, 5.0), (0, 1, 1.0), (1, 0, 3.0)])
+        assert kernel(e).tolist() == [1]
+
+    def test_disconnected_components(self, kernel):
+        e = EdgeArray.from_tuples(
+            6, [(0, 1, 1.0), (1, 2, 2.0), (3, 4, 1.0), (4, 5, 9.0)]
+        )
+        assert sorted(kernel(e).tolist()) == [0, 1, 2, 3]
+
+    def test_equal_weights_unique_by_eid(self, kernel):
+        # A 4-cycle with all-equal weights: the unique MSF drops eid 3.
+        e = EdgeArray.from_tuples(
+            4, [(0, 1, 1.0, 0), (1, 2, 1.0, 1), (2, 3, 1.0, 2), (3, 0, 1.0, 3)]
+        )
+        assert sorted(kernel(e).tolist()) == [0, 1, 2]
+
+
+class TestKernelsRandomOracle:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_networkx_weight(self, kernel, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(2, 60)
+        m = rng.randrange(0, 180)
+        e = random_edge_array(n, m, rng)
+        pos = kernel(e)
+        assert is_forest(e, pos)
+        assert spans_same_components(e, pos)
+        assert msf_weight_of(e, pos) == pytest.approx(nx_msf_weight(e))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_all_kernels_identical_selection(self, seed):
+        rng = random.Random(100 + seed)
+        e = random_edge_array(40, 150, rng)
+        results = {name: sorted(k(e).tolist()) for name, k in KERNELS.items()}
+        vals = list(results.values())
+        assert all(v == vals[0] for v in vals), results
+
+    def test_kkt_deterministic_given_seed(self):
+        rng = random.Random(5)
+        e = random_edge_array(80, 400, rng)
+        a = kkt_msf(e, seed=1).tolist()
+        b = kkt_msf(e, seed=1).tolist()
+        c = kkt_msf(e, seed=2).tolist()
+        assert a == b == c  # selection is unique regardless of seed
+
+    def test_larger_graph(self):
+        rng = random.Random(11)
+        e = random_edge_array(500, 3000, rng)
+        k = sorted(kruskal_msf(e).tolist())
+        assert sorted(kkt_msf(e).tolist()) == k
+        assert sorted(boruvka_msf(e).tolist()) == k
+
+
+class TestKernelCosts:
+    def test_kruskal_charges_sort_work(self):
+        cm = CostModel()
+        e = random_edge_array(32, 128, random.Random(0))
+        kruskal_msf(e, cost=cm)
+        assert cm.work >= 128 * 7
+
+    def test_boruvka_work_scales_linearithmic(self):
+        rng = random.Random(1)
+        e = random_edge_array(256, 1024, rng)
+        cm = CostModel()
+        boruvka_msf(e, cost=cm)
+        assert 0 < cm.work < 40 * 1024  # O(m lg n) with small constants
+
+    def test_kkt_work_linear_ish(self):
+        rng = random.Random(2)
+        small = random_edge_array(128, 512, rng)
+        big = random_edge_array(1024, 4096, rng)
+        c1, c2 = CostModel(), CostModel()
+        kkt_msf(small, cost=c1)
+        kkt_msf(big, cost=c2)
+        # 8x the edges should cost within ~16x the work (near-linear).
+        assert c2.work < 16 * max(c1.work, 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(2, 25),
+    edges=st.lists(
+        st.tuples(st.integers(0, 24), st.integers(0, 24), st.integers(0, 20)),
+        max_size=80,
+    ),
+)
+def test_property_all_kernels_agree(n, edges):
+    rows = [(u % n, v % n, float(w), i) for i, (u, v, w) in enumerate(edges)]
+    e = EdgeArray.from_tuples(n, rows)
+    expected = sorted(kruskal_msf(e).tolist())
+    assert sorted(boruvka_msf(e).tolist()) == expected
+    assert sorted(prim_msf(e).tolist()) == expected
+    assert sorted(kkt_msf(e).tolist()) == expected
+    assert sorted(filter_kruskal_msf(e).tolist()) == expected

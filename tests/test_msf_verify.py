@@ -1,0 +1,144 @@
+"""Tests for the Kruskal-tree path-maximum oracle and F-heavy filtering."""
+
+import random
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.msf import EdgeArray, KruskalTreeOracle, filter_forest_heavy, kruskal_msf
+
+
+def random_forest(n: int, rng: random.Random, p_link: float = 0.9) -> EdgeArray:
+    """A random forest built by linking each vertex to a random earlier one."""
+    rows = []
+    for v in range(1, n):
+        if rng.random() < p_link:
+            rows.append((rng.randrange(v), v, rng.uniform(0, 1), len(rows)))
+    return EdgeArray.from_tuples(n, rows)
+
+
+def brute_path_max(forest: EdgeArray, u: int, v: int):
+    g = nx.Graph()
+    g.add_nodes_from(range(forest.n))
+    for a, b, w, eid in forest.iter_tuples():
+        g.add_edge(a, b, key=(w, eid))
+    if u == v or not nx.has_path(g, u, v):
+        return None
+    path = nx.shortest_path(g, u, v)
+    return max(g[a][b]["key"] for a, b in zip(path, path[1:]))
+
+
+class TestOracleSmall:
+    def test_path_of_three(self):
+        f = EdgeArray.from_tuples(3, [(0, 1, 5.0, 0), (1, 2, 3.0, 1)])
+        o = KruskalTreeOracle(f)
+        w, eid, pos, conn = o.path_max([0], [2])
+        assert conn[0]
+        assert w[0] == 5.0 and eid[0] == 0 and pos[0] == 0
+
+    def test_disconnected(self):
+        f = EdgeArray.from_tuples(4, [(0, 1, 1.0)])
+        o = KruskalTreeOracle(f)
+        w, eid, _, conn = o.path_max([0], [3])
+        assert not conn[0] and w[0] == -np.inf and eid[0] == -1
+
+    def test_identical_endpoints_connected_no_edge(self):
+        f = EdgeArray.from_tuples(2, [(0, 1, 1.0)])
+        o = KruskalTreeOracle(f)
+        w, _, _, conn = o.path_max([1], [1])
+        assert conn[0] and w[0] == -np.inf
+
+    def test_connected_helper(self):
+        f = EdgeArray.from_tuples(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        o = KruskalTreeOracle(f)
+        assert o.connected([0, 0], [1, 2]).tolist() == [True, False]
+
+    def test_non_forest_input_raises(self):
+        cyc = EdgeArray.from_tuples(3, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+        with pytest.raises(ValueError):
+            KruskalTreeOracle(cyc)
+
+    def test_empty_forest(self):
+        f = EdgeArray.from_tuples(3, [])
+        o = KruskalTreeOracle(f)
+        _, _, _, conn = o.path_max([0, 1], [1, 1])
+        assert conn.tolist() == [False, True]
+
+
+class TestOracleRandom:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(2, 40)
+        f = random_forest(n, rng)
+        o = KruskalTreeOracle(f)
+        us = [rng.randrange(n) for _ in range(30)]
+        vs = [rng.randrange(n) for _ in range(30)]
+        w, eid, pos, conn = o.path_max(us, vs)
+        for i, (u, v) in enumerate(zip(us, vs)):
+            expect = brute_path_max(f, u, v)
+            if expect is None:
+                assert u == v or not conn[i]
+            else:
+                assert (w[i], eid[i]) == expect
+                assert f.w[pos[i]] == w[i] and f.eid[pos[i]] == eid[i]
+
+
+class TestFHeavyFilter:
+    def test_forest_edges_are_light(self):
+        f = EdgeArray.from_tuples(3, [(0, 1, 1.0, 0), (1, 2, 2.0, 1)])
+        light = filter_forest_heavy(f, f)
+        assert light.tolist() == [0, 1]
+
+    def test_heavy_edge_dropped(self):
+        f = EdgeArray.from_tuples(3, [(0, 1, 1.0, 0), (1, 2, 2.0, 1)])
+        q = EdgeArray.from_tuples(3, [(0, 2, 5.0, 7), (0, 2, 1.5, 8)])
+        light = filter_forest_heavy(q, f)
+        assert light.tolist() == [1]  # 5.0 > path max 2.0 is heavy; 1.5 light
+
+    def test_cross_component_edges_kept(self):
+        f = EdgeArray.from_tuples(4, [(0, 1, 1.0, 0)])
+        q = EdgeArray.from_tuples(4, [(1, 2, 100.0, 5)])
+        assert filter_forest_heavy(q, f).tolist() == [0]
+
+    def test_filter_preserves_msf(self):
+        # The true MSF must survive F-heavy filtering for any sampled forest.
+        rng = random.Random(3)
+        n, m = 40, 200
+        rows = [
+            (rng.randrange(n), rng.randrange(n), rng.uniform(0, 1), i)
+            for i in range(m)
+        ]
+        e = EdgeArray.from_tuples(n, rows)
+        msf_pos = set(kruskal_msf(e).tolist())
+        sample_idx = np.array([i for i in range(m) if rng.random() < 0.5], dtype=np.int64)
+        sampled = e.take(sample_idx)
+        f = sampled.take(kruskal_msf(sampled))
+        light = set(filter_forest_heavy(e, f).tolist())
+        assert msf_pos <= light
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data(), n=st.integers(2, 20))
+def test_property_oracle_vs_brute(data, n):
+    link = data.draw(
+        st.lists(st.tuples(st.booleans(), st.floats(0, 1)), min_size=n - 1, max_size=n - 1)
+    )
+    rows = []
+    for v, (keep, w) in enumerate(link, start=1):
+        if keep:
+            parent = data.draw(st.integers(0, v - 1))
+            rows.append((parent, v, float(w), len(rows)))
+    f = EdgeArray.from_tuples(n, rows)
+    o = KruskalTreeOracle(f)
+    u = data.draw(st.integers(0, n - 1))
+    v = data.draw(st.integers(0, n - 1))
+    w, eid, _, conn = o.path_max([u], [v])
+    expect = brute_path_max(f, u, v)
+    if expect is None:
+        assert u == v or not conn[0]
+    else:
+        assert (w[0], eid[0]) == expect

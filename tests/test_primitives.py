@@ -1,0 +1,119 @@
+"""Unit and property tests for the parallel sequence primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.primitives import (
+    dedup_ints,
+    group_by_key,
+    pack,
+    pfilter,
+    pmap,
+    prefix_sums,
+    preduce,
+    semisort_pairs,
+)
+from repro.primitives.sequences import pflatten
+from repro.runtime import CostModel
+
+
+class TestMapReduce:
+    def test_pmap_applies(self):
+        assert pmap(lambda x: 2 * x, [1, 2, 3]) == [2, 4, 6]
+
+    def test_pmap_charges_linear_work(self):
+        cm = CostModel()
+        pmap(lambda x: x, list(range(64)), cost=cm)
+        assert cm.work == 64
+        assert cm.span == 1
+
+    def test_preduce_sums(self):
+        assert preduce(lambda a, b: a + b, range(10), 0) == 45
+
+    def test_preduce_charges_log_span(self):
+        cm = CostModel()
+        preduce(lambda a, b: a + b, range(1024), 0, cost=cm)
+        assert cm.work == 1024
+        assert cm.span == 10
+
+    def test_preduce_empty_returns_identity(self):
+        assert preduce(lambda a, b: a + b, [], 17) == 17
+
+
+class TestScanPack:
+    def test_prefix_sums_exclusive(self):
+        out = prefix_sums([3, 1, 4, 1, 5])
+        assert out.tolist() == [0, 3, 4, 8, 9, 14]
+
+    def test_prefix_sums_empty(self):
+        assert prefix_sums([]).tolist() == [0]
+
+    def test_pack_keeps_flagged(self):
+        assert pack([True, False, True], ["a", "b", "c"]) == ["a", "c"]
+
+    def test_pack_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pack([True], ["a", "b"])
+
+    def test_pfilter(self):
+        assert pfilter(lambda x: x % 2 == 0, list(range(8))) == [0, 2, 4, 6]
+
+    def test_pflatten(self):
+        assert pflatten([[1, 2], [], [3]]) == [1, 2, 3]
+
+    @given(st.lists(st.integers(-100, 100), max_size=200))
+    def test_prefix_sums_match_python(self, xs):
+        out = prefix_sums(xs)
+        acc, expect = 0, [0]
+        for x in xs:
+            acc += x
+            expect.append(acc)
+        assert out.tolist() == expect
+
+
+class TestSemisort:
+    def test_group_by_key_counts(self):
+        uniq, counts = group_by_key([5, 3, 5, 5, 3, 9])
+        assert uniq.tolist() == [3, 5, 9]
+        assert counts.tolist() == [2, 3, 1]
+
+    def test_semisort_pairs_groups(self):
+        groups = semisort_pairs([1, 2, 1], [10, 20, 30])
+        assert groups == {1: [10, 30], 2: [20]}
+
+    def test_semisort_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            semisort_pairs([1], [1, 2])
+
+    def test_dedup_ints(self):
+        assert dedup_ints([4, 4, 2, 7, 2]).tolist() == [2, 4, 7]
+
+    def test_dedup_charges_expected_linear_work(self):
+        cm = CostModel()
+        dedup_ints(np.arange(256), cost=cm)
+        assert cm.work == 256
+        assert cm.span == 8
+
+    @given(st.lists(st.integers(0, 50), max_size=300))
+    def test_group_counts_sum_to_n(self, xs):
+        uniq, counts = group_by_key(xs)
+        assert int(counts.sum()) == len(xs)
+        assert sorted(set(xs)) == uniq.tolist()
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 1000)),
+            max_size=200,
+        )
+    )
+    def test_semisort_preserves_multiset(self, pairs):
+        keys = [k for k, _ in pairs]
+        vals = [v for _, v in pairs]
+        groups = semisort_pairs(keys, vals)
+        flat = sorted(v for vs in groups.values() for v in vs)
+        assert flat == sorted(vals)
+        # Within a group, arrival order is preserved (stable grouping).
+        for k, vs in groups.items():
+            assert vs == [v for kk, v in pairs if kk == k]

@@ -1,0 +1,306 @@
+"""Tests for the batch-dynamic RC forest (contraction + change propagation).
+
+The strongest check exploits determinism: the leveled contraction is a pure
+function of (edge set, seed), so after any sequence of batch updates the
+full state snapshot must be *identical* to that of a freshly built forest
+over the same edges.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import CostModel
+from repro.trees.cluster import ClusterKind
+from repro.trees.rcforest import RCForest
+from repro.trees.ternary import InternalLink
+
+
+def path_links(k, w0=0.0):
+    return [InternalLink(i, i + 1, w0 + i, 1000 + i) for i in range(k - 1)]
+
+
+class TestBuild:
+    def test_empty_forest(self):
+        f = RCForest(vertices=range(5))
+        f.check_invariants()
+        assert f.num_vertices == 5 and f.num_edges == 0
+        assert not f.connected(0, 1)
+
+    def test_isolated_vertices_are_nullary_roots(self):
+        f = RCForest(vertices=range(3))
+        for v in range(3):
+            assert f.root_cluster(v).kind is ClusterKind.NULLARY
+            assert f.root_cluster(v).rep == v
+
+    def test_single_edge(self):
+        f = RCForest(vertices=range(2))
+        f.batch_update(links=[InternalLink(0, 1, 5.0, 0)])
+        f.check_invariants()
+        assert f.connected(0, 1)
+        assert f.num_edges == 1
+
+    def test_path_contracts_logarithmically(self):
+        f = RCForest(vertices=range(256), seed=11)
+        f.batch_update(links=path_links(256))
+        f.check_invariants()
+        assert f.connected(0, 255)
+        assert f.num_levels <= 40  # O(lg n) levels w.h.p.
+
+    def test_star_contracts(self):
+        f = RCForest(vertices=range(64))
+        f.batch_update(links=[InternalLink(0, i, 1.0, i) for i in range(1, 64)])
+        f.check_invariants()
+        assert all(f.connected(0, i) for i in range(1, 64))
+
+    def test_two_vertex_tree_tiebreak(self):
+        f = RCForest(vertices=[7, 3])
+        f.batch_update(links=[InternalLink(7, 3, 1.0, 0)])
+        f.check_invariants()
+        # The smaller id rakes; the larger finalizes as the root.
+        assert f.root_cluster(3).rep == 7
+        assert f.comp[3].kind is ClusterKind.UNARY
+
+    def test_duplicate_link_raises(self):
+        f = RCForest(vertices=range(2))
+        f.batch_update(links=[InternalLink(0, 1, 1.0, 0)])
+        with pytest.raises(ValueError):
+            f.batch_update(links=[InternalLink(1, 0, 2.0, 1)])
+
+    def test_duplicate_eid_raises(self):
+        f = RCForest(vertices=range(4))
+        f.batch_update(links=[InternalLink(0, 1, 1.0, 0)])
+        with pytest.raises(ValueError):
+            f.batch_update(links=[InternalLink(2, 3, 1.0, 0)])
+
+    def test_cut_unknown_edge_raises(self):
+        f = RCForest(vertices=range(2))
+        with pytest.raises(KeyError):
+            f.batch_update(cuts=[(0, 1, 5)])
+
+    def test_ensure_vertex_dynamic(self):
+        f = RCForest(vertices=range(2))
+        f.batch_update(links=[InternalLink(0, 5, 1.0, 0)])  # vertex 5 appears
+        f.check_invariants()
+        assert f.connected(0, 5)
+
+
+class TestDeterminism:
+    def test_build_matches_rebuild(self):
+        f = RCForest(vertices=range(40), seed=123)
+        f.batch_update(links=path_links(40))
+        assert f.snapshot() == f.rebuilt_copy().snapshot()
+
+    def test_incremental_equals_batch(self):
+        # Linking one at a time or all at once must give identical state.
+        links = path_links(32)
+        one = RCForest(vertices=range(32), seed=5)
+        for l in links:
+            one.batch_update(links=[l])
+        allatonce = RCForest(vertices=range(32), seed=5)
+        allatonce.batch_update(links=links)
+        assert one.snapshot() == allatonce.snapshot()
+
+    def test_cut_then_relink_restores_state(self):
+        links = path_links(20)
+        f = RCForest(vertices=range(20), seed=5)
+        f.batch_update(links=links)
+        before = f.snapshot()
+        l = links[10]
+        f.batch_update(cuts=[(l.a, l.b, l.eid)])
+        assert f.snapshot() != before
+        f.batch_update(links=[l])
+        assert f.snapshot() == before
+
+    def test_different_seeds_differ_structurally(self):
+        a = RCForest(vertices=range(64), seed=1)
+        a.batch_update(links=path_links(64))
+        b = RCForest(vertices=range(64), seed=2)
+        b.batch_update(links=path_links(64))
+        assert a.snapshot() != b.snapshot()
+
+
+class TestPathAugmentation:
+    def test_root_of_path_sees_heaviest_somewhere(self):
+        f = RCForest(vertices=range(8), seed=3)
+        f.batch_update(links=path_links(8))
+        f.check_invariants()  # includes binary path-max consistency
+
+    def test_binary_cluster_weight_raises_on_unary(self):
+        f = RCForest(vertices=range(2))
+        f.batch_update(links=[InternalLink(0, 1, 1.0, 0)])
+        root = f.root_cluster(0)
+        with pytest.raises(ValueError):
+            root.weight()
+
+
+class TestRandomStress:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_link_cut_sequences(self, seed):
+        rng = random.Random(seed)
+        n = 48
+        f = RCForest(vertices=range(n), seed=seed + 100)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        live = {}
+        eid = 0
+        for step in range(50):
+            cuts = []
+            for e in list(live):
+                if rng.random() < 0.3:
+                    a, b = live.pop(e)
+                    cuts.append((a, b, e))
+                    g.remove_edge(a, b)
+            links = []
+            for _ in range(rng.randrange(0, 7)):
+                a, b = rng.randrange(n), rng.randrange(n)
+                if a == b or nx.has_path(g, a, b):
+                    continue
+                links.append(InternalLink(a, b, rng.random(), eid))
+                live[eid] = (a, b)
+                g.add_edge(a, b)
+                eid += 1
+            f.batch_update(links=links, cuts=cuts)
+            f.check_invariants()
+            assert f.snapshot() == f.rebuilt_copy().snapshot(), f"step {step}"
+            for _ in range(8):
+                a, b = rng.randrange(n), rng.randrange(n)
+                assert f.connected(a, b) == nx.has_path(g, a, b)
+
+    def test_heights_logarithmic_on_large_path(self):
+        n = 1024
+        f = RCForest(vertices=range(n), seed=17)
+        f.batch_update(links=path_links(n))
+        heights = [f.rc_height(v) for v in range(0, n, 37)]
+        assert max(heights) <= 60  # O(lg n) w.h.p.; lg(1024) = 10
+
+
+class TestCostAccounting:
+    def test_batch_work_sublinear_in_n_for_small_batches(self):
+        n = 4096
+        cost = CostModel()
+        f = RCForest(vertices=range(n), seed=23, cost=cost)
+        f.batch_update(links=path_links(n))
+        build_work = cost.work
+        snap = cost.snapshot()
+        # One extra link into the big path: work should be much less than n.
+        f.batch_update(
+            cuts=[(100, 101, 1100)],
+        )
+        delta = cost.since(snap)
+        assert 0 < delta.work < n // 4
+        assert build_work > n  # the build itself is Omega(n)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_property_propagation_equals_rebuild(data):
+    n = data.draw(st.integers(2, 24))
+    seed = data.draw(st.integers(0, 2**20))
+    f = RCForest(vertices=range(n), seed=seed)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    live = {}
+    eid = 0
+    for _ in range(data.draw(st.integers(1, 6))):
+        cuts = []
+        for e in list(live):
+            if data.draw(st.booleans()):
+                a, b = live.pop(e)
+                cuts.append((a, b, e))
+                g.remove_edge(a, b)
+        links = []
+        for _ in range(data.draw(st.integers(0, 5))):
+            a = data.draw(st.integers(0, n - 1))
+            b = data.draw(st.integers(0, n - 1))
+            if a == b or nx.has_path(g, a, b):
+                continue
+            links.append(InternalLink(a, b, 1.0, eid))
+            live[eid] = (a, b)
+            g.add_edge(a, b)
+            eid += 1
+        f.batch_update(links=links, cuts=cuts)
+    f.check_invariants()
+    assert f.snapshot() == f.rebuilt_copy().snapshot()
+
+
+class TestCompressRules:
+    """The ordered compress rule (conclusion's 'faster RC tree' direction)
+    must be exactly as correct as Miller-Reif, only shallower."""
+
+    def test_invalid_rule_rejected(self):
+        with pytest.raises(ValueError):
+            RCForest(vertices=range(3), compress_rule="quantum")
+
+    @pytest.mark.parametrize("rule", ["mr", "ordered"])
+    def test_propagation_equals_rebuild(self, rule):
+        rng = random.Random(5)
+        n = 40
+        f = RCForest(vertices=range(n), seed=9, compress_rule=rule)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        live = {}
+        eid = 0
+        for step in range(40):
+            cuts = []
+            for e in list(live):
+                if rng.random() < 0.3:
+                    a, b = live.pop(e)
+                    cuts.append((a, b, e))
+                    g.remove_edge(a, b)
+            links = []
+            for _ in range(rng.randrange(0, 6)):
+                a, b = rng.randrange(n), rng.randrange(n)
+                if a == b or nx.has_path(g, a, b):
+                    continue
+                links.append(InternalLink(a, b, rng.random(), eid))
+                live[eid] = (a, b)
+                g.add_edge(a, b)
+                eid += 1
+            f.batch_update(links=links, cuts=cuts)
+            f.check_invariants()
+            assert f.snapshot() == f.rebuilt_copy().snapshot(), step
+            for _ in range(6):
+                a, b = rng.randrange(n), rng.randrange(n)
+                assert f.connected(a, b) == nx.has_path(g, a, b)
+
+    def test_ordered_rule_contracts_faster_on_paths(self):
+        n = 1024
+        depths = {}
+        for rule in ("mr", "ordered"):
+            f = RCForest(vertices=range(n), seed=3, compress_rule=rule)
+            f.batch_update(links=path_links(n))
+            depths[rule] = len(f.level_statistics())
+        assert depths["ordered"] < depths["mr"]
+
+    def test_no_adjacent_compressions_under_ordered_rule(self):
+        # Directly audit every level: two adjacent vertices never both
+        # compress in the same round.
+        n = 512
+        f = RCForest(vertices=range(n), seed=11, compress_rule="ordered")
+        f.batch_update(links=path_links(n))
+        for i, dec in enumerate(f._dec):
+            compressing = {v for v, d in dec.items() if d[0] == "C"}
+            for v in compressing:
+                for x in f._adj[i][v]:
+                    assert x not in compressing, (i, v, x)
+
+    def test_rules_give_same_msf(self):
+        from repro.core import BatchIncrementalMSF
+
+        rng = random.Random(2)
+        edges = [
+            (rng.randrange(60), rng.randrange(60), rng.uniform(0, 9))
+            for _ in range(200)
+        ]
+        edges = [(u, v, w, i) for i, (u, v, w) in enumerate(edges) if u != v]
+        outs = []
+        for rule in ("mr", "ordered"):
+            m = BatchIncrementalMSF(60, seed=4, compress_rule=rule)
+            for i in range(0, len(edges), 25):
+                m.batch_insert(edges[i : i + 25])
+            outs.append(m.msf_edges())
+        assert outs[0] == outs[1]

@@ -1,0 +1,200 @@
+"""Unit tests for the work-span cost model."""
+
+import pytest
+
+from repro.runtime import Cost, CostModel, measure
+from repro.runtime.cost import log2ceil
+
+
+class TestCostAlgebra:
+    def test_sequential_composition_adds_both(self):
+        assert Cost(3, 2) + Cost(5, 7) == Cost(8, 9)
+
+    def test_parallel_composition_adds_work_maxes_span(self):
+        assert Cost(3, 2) | Cost(5, 7) == Cost(8, 7)
+
+    def test_zero_is_identity(self):
+        c = Cost(4, 4)
+        assert c + Cost.zero() == c
+        assert c | Cost.zero() == c
+
+    def test_log2ceil_values(self):
+        assert log2ceil(1) == 1
+        assert log2ceil(2) == 1
+        assert log2ceil(3) == 2
+        assert log2ceil(4) == 2
+        assert log2ceil(1024) == 10
+        assert log2ceil(1025) == 11
+
+
+class TestCostModel:
+    def test_add_accumulates(self):
+        cm = CostModel()
+        cm.add(work=10, span=3)
+        cm.add(work=5, span=2)
+        assert (cm.work, cm.span) == (15, 5)
+
+    def test_disabled_model_is_inert(self):
+        cm = CostModel(enabled=False)
+        cm.add(work=10, span=3)
+        cm.bulk(100)
+        assert (cm.work, cm.span) == (0, 0)
+
+    def test_bulk_charges_log_span(self):
+        cm = CostModel()
+        cm.bulk(1024)
+        assert cm.work == 1024
+        assert cm.span == 10
+
+    def test_bulk_of_zero_is_free(self):
+        cm = CostModel()
+        cm.bulk(0)
+        assert (cm.work, cm.span) == (0, 0)
+
+    def test_parallel_block_takes_max_span(self):
+        cm = CostModel()
+        with cm.parallel() as fork:
+            with fork.branch() as b1:
+                b1.add(work=10, span=4)
+            with fork.branch() as b2:
+                b2.add(work=20, span=9)
+        assert cm.work == 30
+        assert cm.span == 9
+
+    def test_nested_parallel_blocks(self):
+        cm = CostModel()
+        cm.add(span=1)
+        with cm.parallel() as fork:
+            with fork.branch() as b:
+                with b.parallel() as inner:
+                    with inner.branch() as x:
+                        x.add(work=1, span=5)
+                    with inner.branch() as y:
+                        y.add(work=1, span=3)
+            with fork.branch() as b2:
+                b2.add(work=7, span=2)
+        assert cm.work == 9
+        assert cm.span == 1 + 5
+
+    def test_snapshot_and_since(self):
+        cm = CostModel()
+        cm.add(work=5, span=5)
+        snap = cm.snapshot()
+        cm.add(work=2, span=1)
+        assert cm.since(snap) == Cost(2, 1)
+
+    def test_measure_context(self):
+        cm = CostModel()
+        cm.add(work=100, span=10)
+        with measure(cm) as m:
+            cm.add(work=7, span=3)
+        assert (m.work, m.span) == (7, 3)
+        assert m.cost() == Cost(7, 3)
+
+    def test_reset(self):
+        cm = CostModel()
+        cm.add(work=3, span=3)
+        cm.reset()
+        assert (cm.work, cm.span) == (0, 0)
+
+
+class TestHashing:
+    def test_bits_deterministic(self):
+        from repro.runtime import HashBits
+
+        h1, h2 = HashBits(seed=42), HashBits(seed=42)
+        assert [h1.bit(v, r) for v in range(50) for r in range(5)] == [
+            h2.bit(v, r) for v in range(50) for r in range(5)
+        ]
+
+    def test_bits_roughly_balanced(self):
+        from repro.runtime import HashBits
+
+        h = HashBits(seed=7)
+        ones = sum(h.bit(v, 0) for v in range(4000))
+        assert 1700 < ones < 2300
+
+    def test_different_seeds_differ(self):
+        from repro.runtime import HashBits
+
+        a = [HashBits(1).bit(v, 0) for v in range(128)]
+        b = [HashBits(2).bit(v, 0) for v in range(128)]
+        assert a != b
+
+    def test_splitmix_is_64bit(self):
+        from repro.runtime import splitmix64
+
+        for x in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= splitmix64(x) < 2**64
+
+
+class TestScheduler:
+    def test_sequential_map(self):
+        from repro.runtime import SequentialScheduler
+
+        s = SequentialScheduler()
+        assert s.map(lambda x: x * x, range(5)) == [0, 1, 4, 9, 16]
+
+    def test_thread_pool_map_matches_sequential(self):
+        from repro.runtime import SequentialScheduler, ThreadPoolScheduler
+
+        with ThreadPoolScheduler(max_workers=4) as pool:
+            xs = list(range(100))
+            assert pool.map(lambda x: x + 1, xs) == SequentialScheduler().map(
+                lambda x: x + 1, xs
+            )
+
+    def test_default_scheduler_swap(self):
+        from repro.runtime import (
+            SequentialScheduler,
+            get_default_scheduler,
+            set_default_scheduler,
+        )
+
+        old = get_default_scheduler()
+        new = SequentialScheduler()
+        prev = set_default_scheduler(new)
+        try:
+            assert prev is old
+            assert get_default_scheduler() is new
+        finally:
+            set_default_scheduler(old)
+
+    def test_starmap(self):
+        from repro.runtime import SequentialScheduler
+
+        s = SequentialScheduler()
+        assert s.starmap(lambda a, b: a - b, [(5, 2), (9, 4)]) == [3, 5]
+
+
+class TestParallelRegions:
+    def test_sum_work_max_span(self):
+        from repro.runtime import parallel_regions
+
+        parent = CostModel()
+        a, b = CostModel(), CostModel()
+        out = parallel_regions(
+            parent,
+            [
+                (a, lambda: (a.add(work=10, span=4), "A")[1]),
+                (b, lambda: (b.add(work=5, span=9), "B")[1]),
+            ],
+        )
+        assert out == ["A", "B"]
+        assert parent.work == 15 and parent.span == 9
+
+    def test_only_deltas_counted(self):
+        from repro.runtime import parallel_regions
+
+        parent = CostModel()
+        a = CostModel()
+        a.add(work=100, span=100)  # pre-existing charges must not leak
+        parallel_regions(parent, [(a, lambda: a.add(work=1, span=1))])
+        assert parent.work == 1 and parent.span == 1
+
+    def test_empty_regions(self):
+        from repro.runtime import parallel_regions
+
+        parent = CostModel()
+        assert parallel_regions(parent, []) == []
+        assert parent.work == 0 and parent.span == 0

@@ -1,0 +1,91 @@
+"""Serialization: every structure must pickle and keep working.
+
+RC trees are pointer-heavy (parent/child cycles), so round-tripping through
+pickle is a real test: the restored structure must answer queries, accept
+further batches, and stay snapshot-identical to the original evolving in
+parallel.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.applications import SingleLinkageClustering
+from repro.core import BatchIncrementalMSF
+from repro.orderedset import Treap
+from repro.sliding_window import SWConnectivityEager
+from repro.trees import DynamicForest
+
+
+def roundtrip(x):
+    return pickle.loads(pickle.dumps(x))
+
+
+class TestForestPickle:
+    def test_roundtrip_preserves_state(self):
+        rng = random.Random(1)
+        f = DynamicForest(30, seed=2)
+        f.batch_link(
+            [(rng.randrange(v), v, rng.random(), v) for v in range(1, 30)]
+        )
+        g = roundtrip(f)
+        assert g.rc.snapshot() == f.rc.snapshot()
+        assert g.edges() == f.edges()
+
+    def test_roundtrip_then_update(self):
+        f = DynamicForest(6, seed=3)
+        f.batch_link([(0, 1, 1.0, 0), (1, 2, 2.0, 1)])
+        g = roundtrip(f)
+        # Both evolve identically after the copy.
+        for s in (f, g):
+            s.batch_update(links=[(3, 4, 5.0, 2)], cut_eids=[0])
+        assert g.rc.snapshot() == f.rc.snapshot()
+        assert g.path_max(1, 2) == f.path_max(1, 2)
+        g.rc.check_invariants()
+
+    def test_queries_after_roundtrip(self):
+        f = DynamicForest(8, seed=4)
+        f.batch_link([(i, i + 1, float(i + 1), i) for i in range(7)])
+        g = roundtrip(f)
+        assert g.component_diameter(0) == f.component_diameter(0)
+        assert g.path_sum(0, 7) == f.path_sum(0, 7)
+        assert g.eccentricity(3) == f.eccentricity(3)
+
+
+class TestStructurePickle:
+    def test_batch_msf(self):
+        m = BatchIncrementalMSF(10, seed=5)
+        m.batch_insert([(0, 1, 3.0), (1, 2, 1.0), (0, 2, 2.0)])
+        m2 = roundtrip(m)
+        assert m2.msf_edges() == m.msf_edges()
+        r1 = m.batch_insert([(2, 3, 9.0)])
+        r2 = m2.batch_insert([(2, 3, 9.0)])
+        assert r1.inserted == r2.inserted
+        assert m2.total_weight() == m.total_weight()
+
+    def test_sliding_window(self):
+        sw = SWConnectivityEager(8, seed=6)
+        sw.batch_insert([(0, 1), (1, 2), (3, 4)])
+        sw.batch_expire(1)
+        sw2 = roundtrip(sw)
+        assert sw2.num_components == sw.num_components
+        for u in range(8):
+            for v in range(8):
+                assert sw2.is_connected(u, v) == sw.is_connected(u, v)
+        sw2.batch_insert([(5, 6)])
+        assert sw2.num_components == sw.num_components - 1
+
+    def test_treap(self):
+        t = Treap((k, k * k) for k in range(50))
+        t2 = roundtrip(t)
+        assert list(t2.items()) == list(t.items())
+        t2.insert(100, -1)
+        assert 100 in t2 and 100 not in t
+
+    def test_clustering(self):
+        sl = SingleLinkageClustering(6, seed=7)
+        sl.batch_insert([(0, 1, 1.0), (1, 2, 4.0)])
+        sl2 = roundtrip(sl)
+        assert sl2.num_clusters(2.0) == sl.num_clusters(2.0)
+        assert sl2.merge_distance(0, 2) == sl.merge_distance(0, 2)

@@ -1,0 +1,320 @@
+"""Tests for the sliding-window structures (Theorems 5.1-5.6) against
+brute-force recomputation over the window."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sliding_window import (
+    SWApproxMSFWeight,
+    SWBipartiteness,
+    SWConnectivity,
+    SWConnectivityEager,
+    SWCycleFree,
+    SWKCertificate,
+    WindowClock,
+)
+
+N = 18
+
+
+def multigraph_edge_connectivity(n, edges):
+    """Global edge connectivity of a multigraph (parallel edges count)."""
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for u, v in edges:
+        if u == v:
+            continue
+        if g.has_edge(u, v):
+            g[u][v]["weight"] += 1
+        else:
+            g.add_edge(u, v, weight=1)
+    if n <= 1:
+        return float("inf")
+    if nx.number_connected_components(g) > 1:
+        return 0
+    value, _ = nx.stoer_wagner(g)
+    return value
+
+
+def window_multigraph(stream, tw, n=N):
+    g = nx.MultiGraph()
+    g.add_nodes_from(range(n))
+    for tau, e in enumerate(stream):
+        if tau >= tw:
+            g.add_edge(e[0], e[1])
+    return g
+
+
+class TestWindowClock:
+    def test_assign_and_expire(self):
+        c = WindowClock()
+        assert list(c.assign(3)) == [0, 1, 2]
+        assert c.window_size == 3
+        c.expire(2)
+        assert c.tw == 2 and c.window_size == 1
+
+    def test_expire_clamps_at_t(self):
+        c = WindowClock()
+        c.assign(2)
+        c.expire(10)
+        assert c.tw == 2 and c.window_size == 0
+
+    def test_expire_negative_raises(self):
+        with pytest.raises(ValueError):
+            WindowClock().expire(-1)
+
+    def test_expire_until_monotone(self):
+        c = WindowClock()
+        c.assign(5)
+        c.expire_until(3)
+        c.expire_until(1)  # cannot move backwards
+        assert c.tw == 3
+
+
+class TestConnectivityOracle:
+    @pytest.mark.parametrize("variant", ["lazy", "eager"])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_stream(self, variant, seed):
+        rng = random.Random(seed)
+        cls = SWConnectivity if variant == "lazy" else SWConnectivityEager
+        sw = cls(N, seed=seed)
+        stream, tw = [], 0
+        for step in range(35):
+            batch = [(rng.randrange(N), rng.randrange(N)) for _ in range(rng.randrange(1, 5))]
+            batch = [e for e in batch if e[0] != e[1]]
+            stream += batch
+            sw.batch_insert(batch)
+            if rng.random() < 0.5 and tw < len(stream):
+                d = rng.randrange(1, len(stream) - tw + 1)
+                tw += d
+                sw.batch_expire(d)
+            g = window_multigraph(stream, tw)
+            for _ in range(8):
+                a, b = rng.randrange(N), rng.randrange(N)
+                assert sw.is_connected(a, b) == nx.has_path(g, a, b), (step, a, b)
+            if variant == "eager":
+                assert sw.num_components == nx.number_connected_components(g)
+            assert sw.window_size == len(stream) - tw
+
+    def test_expire_everything(self):
+        sw = SWConnectivityEager(4)
+        sw.batch_insert([(0, 1), (1, 2)])
+        sw.batch_expire(10)
+        assert sw.num_components == 4
+        assert not sw.is_connected(0, 1)
+
+    def test_expire_before_any_insert(self):
+        sw = SWConnectivityEager(3)
+        sw.batch_expire(5)
+        assert sw.num_components == 3
+
+    def test_self_connectivity(self):
+        sw = SWConnectivity(3)
+        assert sw.is_connected(1, 1)
+
+    def test_explicit_taus_must_be_fresh(self):
+        sw = SWConnectivityEager(4)
+        sw.batch_insert([(0, 1)], taus=[5])
+        with pytest.raises(ValueError):
+            sw.batch_insert([(1, 2)], taus=[5])
+        with pytest.raises(ValueError):
+            sw.batch_insert([(1, 2), (2, 3)], taus=[9, 8])
+        with pytest.raises(ValueError):
+            sw.batch_insert([(1, 2)], taus=[7, 8])
+
+    def test_forest_edges_listing(self):
+        sw = SWConnectivityEager(4)
+        sw.batch_insert([(0, 1), (1, 2), (0, 2)])
+        fe = sw.forest_edges()
+        assert len(fe) == 2
+        assert all(tau in (0, 1, 2) for _, _, tau in fe)
+
+    def test_lazy_expire_is_constant_work(self):
+        from repro.runtime import CostModel
+
+        cost = CostModel()
+        sw = SWConnectivity(64, cost=cost)
+        sw.batch_insert([(i, i + 1) for i in range(63)])
+        snap = cost.snapshot()
+        sw.batch_expire(30)
+        assert cost.since(snap).work == 0  # pointer bump only
+
+
+class TestBipartitenessOracle:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_stream(self, seed):
+        rng = random.Random(10 + seed)
+        sw = SWBipartiteness(N, seed=seed)
+        stream, tw = [], 0
+        for step in range(30):
+            batch = [(rng.randrange(N), rng.randrange(N)) for _ in range(rng.randrange(1, 4))]
+            batch = [e for e in batch if e[0] != e[1]]
+            stream += batch
+            sw.batch_insert(batch)
+            if rng.random() < 0.4 and tw < len(stream):
+                d = rng.randrange(1, len(stream) - tw + 1)
+                tw += d
+                sw.batch_expire(d)
+            g = nx.Graph(window_multigraph(stream, tw))
+            assert sw.is_bipartite() == nx.is_bipartite(g), step
+
+    def test_odd_cycle_expires_away(self):
+        sw = SWBipartiteness(3)
+        sw.batch_insert([(0, 1), (1, 2), (0, 2)])  # triangle
+        assert not sw.is_bipartite()
+        sw.batch_expire(1)  # drop (0,1): a path remains
+        assert sw.is_bipartite()
+
+
+class TestCycleFreeOracle:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_stream(self, seed):
+        rng = random.Random(20 + seed)
+        sw = SWCycleFree(N, seed=seed)
+        stream, tw = [], 0
+        for step in range(30):
+            batch = [(rng.randrange(N), rng.randrange(N)) for _ in range(rng.randrange(1, 4))]
+            stream += batch
+            sw.batch_insert(batch)
+            if rng.random() < 0.4 and tw < len(stream):
+                d = rng.randrange(1, len(stream) - tw + 1)
+                tw += d
+                sw.batch_expire(d)
+            g = window_multigraph(stream, tw)
+            expect = (
+                g.number_of_edges() > N - nx.number_connected_components(g)
+            )
+            assert sw.has_cycle() == expect, step
+
+    def test_self_loop_is_cycle_until_expired(self):
+        sw = SWCycleFree(3)
+        sw.batch_insert([(0, 1), (2, 2)])
+        assert sw.has_cycle()
+        sw.batch_expire(2)
+        assert not sw.has_cycle()
+
+    def test_cycle_expires_away(self):
+        sw = SWCycleFree(3)
+        sw.batch_insert([(0, 1), (1, 2), (2, 0)])
+        assert sw.has_cycle()
+        sw.batch_expire(1)
+        assert not sw.has_cycle()
+
+
+class TestApproxMSF:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SWApproxMSFWeight(4, eps=0.0, max_weight=10)
+        with pytest.raises(ValueError):
+            SWApproxMSFWeight(4, eps=0.5, max_weight=0.5)
+        sw = SWApproxMSFWeight(4, eps=0.5, max_weight=10)
+        with pytest.raises(ValueError):
+            sw.batch_insert([(0, 1, 1000.0)])
+
+    def test_exact_on_unit_weights(self):
+        sw = SWApproxMSFWeight(5, eps=0.5, max_weight=10)
+        sw.batch_insert([(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)])
+        assert sw.weight() == pytest.approx(3.0)
+
+    @pytest.mark.parametrize("eps", [0.25, 0.5, 1.0])
+    @pytest.mark.parametrize("seed", range(2))
+    def test_within_eps_of_exact(self, eps, seed):
+        rng = random.Random(30 + seed)
+        sw = SWApproxMSFWeight(N, eps=eps, max_weight=64.0, seed=seed)
+        stream, tw = [], 0
+        for step in range(18):
+            batch = [
+                (rng.randrange(N), rng.randrange(N), rng.uniform(1, 64))
+                for _ in range(rng.randrange(1, 4))
+            ]
+            batch = [e for e in batch if e[0] != e[1]]
+            stream += batch
+            sw.batch_insert(batch)
+            if rng.random() < 0.3 and tw < len(stream):
+                d = rng.randrange(1, len(stream) - tw + 1)
+                tw += d
+                sw.batch_expire(d)
+            g = nx.Graph()
+            g.add_nodes_from(range(N))
+            for tau, (u, v, w) in enumerate(stream):
+                if tau >= tw and (not g.has_edge(u, v) or g[u][v]["weight"] > w):
+                    g.add_edge(u, v, weight=w)
+            exact = sum(
+                d["weight"] for _, _, d in nx.minimum_spanning_edges(g, data=True)
+            )
+            est = sw.weight()
+            assert exact - 1e-9 <= est <= (1 + eps) * exact + 1e-9, (step, exact, est)
+
+
+class TestKCertificate:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SWKCertificate(4, k=0)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    @pytest.mark.parametrize("seed", range(2))
+    def test_cut_preservation_oracle(self, k, seed):
+        rng = random.Random(40 + seed)
+        sw = SWKCertificate(N, k=k, seed=seed)
+        stream, tw = [], 0
+        for step in range(20):
+            batch = [(rng.randrange(N), rng.randrange(N)) for _ in range(rng.randrange(1, 6))]
+            batch = [e for e in batch if e[0] != e[1]]
+            stream += batch
+            sw.batch_insert(batch)
+            if rng.random() < 0.3 and tw < len(stream):
+                d = rng.randrange(1, len(stream) - tw + 1)
+                tw += d
+                sw.batch_expire(d)
+            window_edges = [(u, v) for tau, (u, v) in enumerate(stream) if tau >= tw]
+            cert_edges = sw.make_certificate()
+            assert len(cert_edges) <= k * (N - 1)
+            gec = multigraph_edge_connectivity(N, window_edges)
+            cec = multigraph_edge_connectivity(N, [(u, v) for u, v, _ in cert_edges])
+            assert min(gec, k) == min(cec, k), step
+            assert sw.is_k_connected() == (gec >= k), step
+
+    def test_certificate_taus_unexpired(self):
+        sw = SWKCertificate(6, k=2)
+        sw.batch_insert([(0, 1), (1, 2), (0, 2), (2, 3)])
+        sw.batch_expire(2)
+        assert all(tau >= 2 for _, _, tau in sw.make_certificate())
+
+    def test_connectivity_lower_bound(self):
+        sw = SWKCertificate(4, k=3)
+        sw.batch_insert([(0, 1), (0, 1), (0, 1), (2, 3)])
+        assert sw.connectivity_lower_bound(0, 1) == 3
+        assert sw.connectivity_lower_bound(0, 2) == 0
+        assert sw.connectivity_lower_bound(1, 1) == 3
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_property_window_connectivity(data):
+    n = data.draw(st.integers(2, 10))
+    sw = SWConnectivityEager(n, seed=data.draw(st.integers(0, 99)))
+    stream: list[tuple[int, int]] = []
+    tw = 0
+    for _ in range(data.draw(st.integers(1, 5))):
+        batch = data.draw(
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)), max_size=6
+            )
+        )
+        batch = [e for e in batch if e[0] != e[1]]
+        stream += batch
+        sw.batch_insert(batch)
+        live = len(stream) - tw
+        if live > 0:
+            d = data.draw(st.integers(0, live))
+            tw += d
+            sw.batch_expire(d)
+    g = window_multigraph(stream, tw, n=n)
+    assert sw.num_components == nx.number_connected_components(g)
+    for u in range(n):
+        for v in range(n):
+            assert sw.is_connected(u, v) == nx.has_path(g, u, v)

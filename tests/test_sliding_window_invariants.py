@@ -1,0 +1,158 @@
+"""Deeper structural invariants of the sliding-window layer.
+
+These go beyond output oracles: the maximal spanning forest decomposition
+of Section 5.4 has internal properties (edge-disjointness, recency
+maximality of F_1, monotone tau structure) that the cascading insertion
+must maintain, and composed structures must agree with standalone ones
+when driven through the explicit-tau interface.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro import BatchIncrementalMSF, CostModel, DynamicForest
+from repro.sliding_window import (
+    SWApproxMSFWeight,
+    SWConnectivityEager,
+    SWKCertificate,
+)
+
+N = 20
+
+
+class TestTopLevelExports:
+    def test_imports(self):
+        import repro
+
+        assert repro.BatchIncrementalMSF is BatchIncrementalMSF
+        assert repro.DynamicForest is DynamicForest
+        assert repro.CostModel is CostModel
+        assert isinstance(repro.__version__, str)
+
+
+class TestKCertificateDecomposition:
+    def _drive(self, seed, k=3, rounds=25):
+        rng = random.Random(seed)
+        sw = SWKCertificate(N, k=k, seed=seed)
+        stream, tw = [], 0
+        for _ in range(rounds):
+            batch = [(rng.randrange(N), rng.randrange(N)) for _ in range(rng.randrange(1, 6))]
+            batch = [e for e in batch if e[0] != e[1]]
+            stream += batch
+            sw.batch_insert(batch)
+            if rng.random() < 0.3 and tw < len(stream):
+                d = rng.randrange(1, len(stream) - tw + 1)
+                tw += d
+                sw.batch_expire(d)
+        return sw, stream, tw
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_forests_are_edge_disjoint(self, seed):
+        sw, _, _ = self._drive(seed)
+        seen: set[int] = set()
+        for d in sw._d:
+            taus = {tau for tau, _ in d.items()}
+            assert not (taus & seen), "an edge appears in two forests"
+            seen |= taus
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_each_forest_is_a_forest(self, seed):
+        sw, _, _ = self._drive(seed)
+        for d in sw._d:
+            g = nx.Graph()
+            g.add_nodes_from(range(N))
+            for tau, (u, v) in d.items():
+                assert not g.has_edge(u, v)
+                g.add_edge(u, v)
+            assert nx.number_of_edges(g) == N - nx.number_connected_components(g)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_f1_spans_window_graph(self, seed):
+        sw, stream, tw = self._drive(seed)
+        g = nx.MultiGraph()
+        g.add_nodes_from(range(N))
+        g.add_edges_from(stream[tw:])
+        f1 = nx.Graph()
+        f1.add_nodes_from(range(N))
+        f1.add_edges_from((u, v) for _, (u, v) in sw._d[0].items())
+        assert nx.number_connected_components(f1) == nx.number_connected_components(g)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_certificate_taus_within_window(self, seed):
+        sw, stream, tw = self._drive(seed)
+        for u, v, tau in sw.make_certificate():
+            assert tw <= tau < len(stream)
+            assert {u, v} == set(stream[tau])
+
+
+class TestExplicitTauComposition:
+    def test_subsampled_instance_matches_filtered_standalone(self):
+        # Drive one instance with explicit global taus over a subsample and
+        # a standalone instance with the same edges arriving contiguously:
+        # connectivity must agree at matched expiry points.
+        rng = random.Random(4)
+        stream = []
+        for _ in range(60):
+            u, v = rng.randrange(N), rng.randrange(N)
+            if u != v:
+                stream.append((u, v))
+        keep = [i for i in range(len(stream)) if i % 3 != 0]  # the subsample
+
+        composed = SWConnectivityEager(N, seed=1)
+        composed.batch_insert([stream[i] for i in keep], taus=keep)
+
+        standalone = SWConnectivityEager(N, seed=1)
+        standalone.batch_insert([stream[i] for i in keep])
+
+        for u in range(N):
+            for v in range(N):
+                assert composed.is_connected(u, v) == standalone.is_connected(u, v)
+
+        # Expire up to global tau 30 = the first 20 kept edges.
+        composed.expire_until(30)
+        standalone.batch_expire(sum(1 for i in keep if i < 30))
+        assert composed.num_components == standalone.num_components
+
+    def test_approx_msf_levels_share_clock(self):
+        sw = SWApproxMSFWeight(N, eps=0.5, max_weight=16.0, seed=2)
+        sw.batch_insert([(0, 1, 1.0), (1, 2, 16.0), (2, 3, 4.0)])
+        sw.batch_expire(2)  # drops the first two arrivals at every level
+        for level in sw._levels:
+            # Each level clamps at its own last arrival, but everything
+            # older than global tau = 2 must be gone.
+            assert level.clock.tw >= min(2, level.clock.t)
+            assert all(tau >= 2 for _, _, tau in level.forest_edges())
+        # Only (2, 3, 4.0) remains: MSF weight estimate covers one edge.
+        assert 4.0 <= sw.weight() <= 1.5 * 4.0 + 1e-9
+
+
+class TestRecencyMSFInvariant:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_window_forest_is_recency_msf(self, seed):
+        # The eager structure's forest must equal the -tau MSF of the
+        # window multigraph, edge for edge.
+        rng = random.Random(seed)
+        sw = SWConnectivityEager(N, seed=seed)
+        stream, tw = [], 0
+        for _ in range(30):
+            batch = [(rng.randrange(N), rng.randrange(N)) for _ in range(rng.randrange(1, 5))]
+            batch = [e for e in batch if e[0] != e[1]]
+            stream += batch
+            sw.batch_insert(batch)
+            if rng.random() < 0.4 and tw < len(stream):
+                d = rng.randrange(1, len(stream) - tw + 1)
+                tw += d
+                sw.batch_expire(d)
+        g = nx.Graph()
+        g.add_nodes_from(range(N))
+        for tau in range(tw, len(stream)):
+            u, v = stream[tau]
+            g.add_edge(u, v, weight=-tau)  # newest = lightest
+        expect = {
+            -int(d["weight"])
+            for _, _, d in nx.minimum_spanning_edges(g, data=True)
+        }
+        got = {tau for _, _, tau in sw.forest_edges()}
+        assert got == expect

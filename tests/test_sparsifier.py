@@ -1,0 +1,128 @@
+"""Tests for the sliding-window cut sparsifier (Theorem 5.8)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.sliding_window import SWSparsifier
+
+
+def weighted_cut(g, s):
+    return sum(d.get("weight", 1) for u, v, d in g.edges(data=True) if (u in s) != (v in s))
+
+
+def to_weighted_graph(n, rows):
+    h = nx.Graph()
+    h.add_nodes_from(range(n))
+    for u, v, w in rows:
+        if h.has_edge(u, v):
+            h[u][v]["weight"] += w
+        else:
+            h.add_edge(u, v, weight=w)
+    return h
+
+
+class TestBasics:
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            SWSparsifier(4, eps=0)
+
+    def test_empty_graph(self):
+        sp = SWSparsifier(8, eps=1.0)
+        assert sp.sparsify() == []
+        sp.batch_expire(3)
+        assert sp.sparsify() == []
+
+    def test_tree_kept_exactly(self):
+        # Connectivity 1 everywhere -> sampling probability 1 -> exact copy.
+        n = 12
+        sp = SWSparsifier(n, eps=1.0, seed=1)
+        tree = [(i, i + 1) for i in range(n - 1)]
+        sp.batch_insert(tree)
+        out = sp.sparsify()
+        assert sorted((min(u, v), max(u, v)) for u, v, _ in out) == sorted(tree)
+        assert all(w == 1.0 for _, _, w in out)
+
+    def test_expiry_removes_old_edges(self):
+        n = 10
+        sp = SWSparsifier(n, eps=1.0, seed=2)
+        tree = [(i, i + 1) for i in range(n - 1)]
+        sp.batch_insert(tree)
+        sp.batch_expire(4)
+        out = sp.sparsify()
+        assert sorted((min(u, v), max(u, v)) for u, v, _ in out) == sorted(tree[4:])
+
+    def test_connectivity_level_monotone_in_density(self):
+        n = 16
+        sparse = SWSparsifier(n, eps=1.0, seed=3)
+        sparse.batch_insert([(0, 1)])
+        dense = SWSparsifier(n, eps=1.0, seed=3)
+        dense.batch_insert([(0, 1)] * 64)
+        assert dense.connectivity_level(0, 1) >= sparse.connectivity_level(0, 1)
+
+    def test_space_shape(self):
+        sp = SWSparsifier(64, eps=0.5)
+        # (L*K + 1) connectivity estimators + (L+1) certificates.
+        assert sp.num_instances == sp.levels * sp.reps + 1 + sp.levels + 1
+
+
+class TestCutPreservation:
+    @pytest.mark.parametrize("seed", range(2))
+    def test_dense_graph_cuts_loose(self, seed):
+        # Sampling only engages once connectivity exceeds eps^-2 lg^2 n,
+        # so the window must be a high-multiplicity multigraph.
+        rng = random.Random(seed)
+        n = 12
+        sp = SWSparsifier(n, eps=1.0, seed=seed)
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)] * 8
+        rng.shuffle(edges)
+        sp.batch_insert(edges)
+        out = sp.sparsify()
+        assert len(out) < len(edges)  # it actually sparsifies
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(edges)
+        h = to_weighted_graph(n, out)
+        good = total = 0
+        for _ in range(25):
+            s = set(rng.sample(range(n), rng.randrange(1, n)))
+            cg = weighted_cut(g, s)
+            if cg == 0:
+                continue
+            total += 1
+            ratio = weighted_cut(h, s) / cg
+            if 0.2 <= ratio <= 5.0:  # loose: reduced polylog constants
+                good += 1
+        assert good >= 0.85 * total
+
+    def test_total_weight_tracks_edge_count(self):
+        rng = random.Random(7)
+        n = 12
+        sp = SWSparsifier(n, eps=1.0, seed=7)
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)] * 6
+        sp.batch_insert(edges)
+        out = sp.sparsify()
+        total = sum(w for _, _, w in out)
+        assert 0.2 * len(edges) <= total <= 5.0 * len(edges)
+
+    def test_window_slide_keeps_sparsifying(self):
+        rng = random.Random(9)
+        n = 14
+        sp = SWSparsifier(n, eps=1.0, seed=9)
+        stream = []
+        for _ in range(6):
+            batch = []
+            for _ in range(20):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u != v:
+                    batch.append((u, v))
+            stream += batch
+            sp.batch_insert(batch)
+            if len(stream) > 60:
+                sp.batch_expire(20)
+                del stream[:20]
+        out = sp.sparsify()
+        # Every output edge is an unexpired window edge.
+        window = {frozenset(e) for e in stream}
+        assert all(frozenset((u, v)) in window for u, v, _ in out)

@@ -1,0 +1,166 @@
+"""Hypothesis stateful (rule-based) testing.
+
+Two machines drive the library through arbitrary interleavings of
+operations while maintaining a networkx model; every rule cross-checks a
+random sample of queries, and invariants run between steps.  This explores
+operation orderings no hand-written scenario covers.
+"""
+
+import networkx as nx
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.sliding_window import SWConnectivityEager
+from repro.trees import DynamicForest
+
+N = 12
+
+
+class DynamicForestMachine(RuleBasedStateMachine):
+    """Random link/cut/query interleavings vs a networkx model."""
+
+    def __init__(self):
+        super().__init__()
+        self.forest = DynamicForest(N, seed=97)
+        self.model = nx.Graph()
+        self.model.add_nodes_from(range(N))
+        self.next_eid = 0
+        self.live: dict[int, tuple[int, int, float]] = {}
+
+    @rule(
+        u=st.integers(0, N - 1),
+        v=st.integers(0, N - 1),
+        w=st.integers(0, 30),
+    )
+    def link(self, u, v, w):
+        if u == v or nx.has_path(self.model, u, v):
+            return
+        eid = self.next_eid
+        self.next_eid += 1
+        self.forest.batch_link([(u, v, float(w), eid)])
+        self.model.add_edge(u, v, w=float(w), eid=eid)
+        self.live[eid] = (u, v, float(w))
+
+    @precondition(lambda self: self.live)
+    @rule(pick=st.randoms(use_true_random=False))
+    def cut(self, pick):
+        eid = pick.choice(sorted(self.live))
+        u, v, _ = self.live.pop(eid)
+        self.forest.batch_cut([eid])
+        self.model.remove_edge(u, v)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def batch_mixed(self, data):
+        # One combined cut + link propagation pass.
+        cut_ids = data.draw(
+            st.lists(st.sampled_from(sorted(self.live)), unique=True, max_size=3)
+        )
+        for eid in cut_ids:
+            u, v, _ = self.live.pop(eid)
+            self.model.remove_edge(u, v)
+        links = []
+        for _ in range(data.draw(st.integers(0, 3))):
+            u = data.draw(st.integers(0, N - 1))
+            v = data.draw(st.integers(0, N - 1))
+            if u == v or nx.has_path(self.model, u, v):
+                continue
+            eid = self.next_eid
+            self.next_eid += 1
+            w = float(data.draw(st.integers(0, 30)))
+            links.append((u, v, w, eid))
+            self.model.add_edge(u, v, w=w, eid=eid)
+            self.live[eid] = (u, v, w)
+        self.forest.batch_update(links=links, cut_eids=cut_ids)
+
+    @rule(u=st.integers(0, N - 1), v=st.integers(0, N - 1))
+    def query_connectivity(self, u, v):
+        assert self.forest.connected(u, v) == nx.has_path(self.model, u, v)
+
+    @rule(u=st.integers(0, N - 1), v=st.integers(0, N - 1))
+    def query_path_max(self, u, v):
+        got = self.forest.path_max(u, v)
+        if u == v or not nx.has_path(self.model, u, v):
+            assert got is None
+        else:
+            path = nx.shortest_path(self.model, u, v)
+            expect = max(
+                (self.model[a][b]["w"], self.model[a][b]["eid"])
+                for a, b in zip(path, path[1:])
+            )
+            assert got == expect
+
+    @rule(v=st.integers(0, N - 1))
+    def query_component_size(self, v):
+        assert self.forest.component_size(v) == len(
+            nx.node_connected_component(self.model, v)
+        )
+
+    @invariant()
+    def counts_match(self):
+        assert self.forest.num_edges == self.model.number_of_edges()
+        assert self.forest.num_components == nx.number_connected_components(
+            self.model
+        )
+
+
+class SlidingWindowMachine(RuleBasedStateMachine):
+    """Random insert/expire interleavings vs window recomputation."""
+
+    def __init__(self):
+        super().__init__()
+        self.sw = SWConnectivityEager(N, seed=13)
+        self.stream: list[tuple[int, int]] = []
+        self.tw = 0
+
+    @rule(
+        edges=st.lists(
+            st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)), max_size=5
+        )
+    )
+    def insert(self, edges):
+        batch = [e for e in edges if e[0] != e[1]]
+        self.stream += batch
+        self.sw.batch_insert(batch)
+
+    @precondition(lambda self: len(self.stream) > self.tw)
+    @rule(data=st.data())
+    def expire(self, data):
+        d = data.draw(st.integers(1, len(self.stream) - self.tw))
+        self.tw += d
+        self.sw.batch_expire(d)
+
+    def _window_graph(self):
+        g = nx.MultiGraph()
+        g.add_nodes_from(range(N))
+        g.add_edges_from(self.stream[self.tw :])
+        return g
+
+    @rule(u=st.integers(0, N - 1), v=st.integers(0, N - 1))
+    def query(self, u, v):
+        assert self.sw.is_connected(u, v) == nx.has_path(self._window_graph(), u, v)
+
+    @invariant()
+    def component_count_matches(self):
+        assert self.sw.num_components == nx.number_connected_components(
+            self._window_graph()
+        )
+        assert self.sw.window_size == len(self.stream) - self.tw
+
+
+TestDynamicForestStateful = DynamicForestMachine.TestCase
+TestDynamicForestStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+TestSlidingWindowStateful = SlidingWindowMachine.TestCase
+TestSlidingWindowStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

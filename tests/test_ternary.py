@@ -1,0 +1,96 @@
+"""Unit tests for the dynamic ternarization layer."""
+
+import pytest
+
+from repro.trees.ternary import NEG_INF, TernaryForest
+
+
+class TestBasics:
+    def test_initial_copies_are_canonical(self):
+        t = TernaryForest(4)
+        assert [t.canonical(v) for v in range(4)] == [0, 1, 2, 3]
+        assert t.num_copies == 4
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            TernaryForest(-1)
+
+    def test_single_edge_no_copies(self):
+        t = TernaryForest(3)
+        links = t.add_edges([(0, 1, 2.5, 0)])
+        assert len(links) == 1
+        assert t.num_copies == 3
+        assert links[0].w == 2.5 and links[0].eid == 0
+
+    def test_self_loop_rejected(self):
+        t = TernaryForest(3)
+        with pytest.raises(ValueError):
+            t.add_edges([(1, 1, 1.0, 0)])
+
+    def test_duplicate_eid_rejected(self):
+        t = TernaryForest(4)
+        t.add_edges([(0, 1, 1.0, 7)])
+        with pytest.raises(ValueError):
+            t.add_edges([(2, 3, 1.0, 7)])
+        with pytest.raises(ValueError):
+            t.add_edges([(0, 2, 1.0, 8), (1, 3, 1.0, 8)])
+
+    def test_negative_eid_rejected(self):
+        t = TernaryForest(2)
+        with pytest.raises(ValueError):
+            t.add_edges([(0, 1, 1.0, -3)])
+
+    def test_out_of_range_endpoint_rejected(self):
+        t = TernaryForest(2)
+        with pytest.raises(ValueError):
+            t.add_edges([(0, 5, 1.0, 0)])
+
+
+class TestDegreeBound:
+    def _degrees(self, t, links):
+        deg = {}
+        for l in links:
+            deg[l.a] = deg.get(l.a, 0) + 1
+            deg[l.b] = deg.get(l.b, 0) + 1
+        return deg
+
+    def test_star_respects_degree_bound(self):
+        t = TernaryForest(10)
+        links = t.add_edges([(0, i, 1.0, i) for i in range(1, 10)])
+        deg = self._degrees(t, links)
+        assert max(deg.values()) <= 3
+        # 9 edges on vertex 0 -> 8 extra copies, all owned by 0.
+        extra = [c for c in range(t.num_copies) if c >= 10]
+        assert all(t.owner(c) == 0 for c in extra)
+
+    def test_virtual_links_have_neg_inf_weight(self):
+        t = TernaryForest(5)
+        links = t.add_edges([(0, i, 1.0, i) for i in range(1, 5)])
+        virtual = [l for l in links if TernaryForest.is_virtual_eid(l.eid)]
+        real = [l for l in links if not TernaryForest.is_virtual_eid(l.eid)]
+        assert len(real) == 4
+        assert virtual and all(l.w == NEG_INF for l in virtual)
+
+    def test_slots_recycled_after_removal(self):
+        t = TernaryForest(6)
+        t.add_edges([(0, i, 1.0, i) for i in range(1, 6)])
+        before = t.num_copies
+        t.remove_edges([1, 2, 3])
+        links = t.add_edges([(0, 1, 2.0, 10), (0, 2, 2.0, 11)])
+        # Freed slots are reused: no new copies, no virtual links.
+        assert t.num_copies == before
+        assert all(not TernaryForest.is_virtual_eid(l.eid) for l in links)
+
+    def test_remove_unknown_edge_raises(self):
+        t = TernaryForest(2)
+        with pytest.raises(KeyError):
+            t.remove_edges([99])
+
+    def test_endpoints_tracked(self):
+        t = TernaryForest(4)
+        t.add_edges([(2, 3, 1.0, 5)])
+        a, b = t.endpoints(5)
+        assert t.owner(a) == 2 and t.owner(b) == 3
+        assert t.has_edge(5)
+        t.remove_edges([5])
+        assert not t.has_edge(5)

@@ -1,0 +1,177 @@
+"""Unit and property tests for the join-based treap ordered set."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.orderedset import Treap
+from repro.runtime import CostModel
+
+
+class TestBasics:
+    def test_empty(self):
+        t = Treap()
+        assert len(t) == 0 and not t
+        assert 5 not in t
+        assert list(t.items()) == []
+
+    def test_insert_get(self):
+        t = Treap()
+        t.insert(3, "a")
+        t.insert(1, "b")
+        assert t.get(3) == "a" and t.get(1) == "b"
+        assert t.get(2, "dflt") == "dflt"
+        assert len(t) == 2 and 3 in t
+
+    def test_insert_replaces(self):
+        t = Treap()
+        t.insert(3, "a")
+        t.insert(3, "b")
+        assert t.get(3) == "b" and len(t) == 1
+
+    def test_delete(self):
+        t = Treap([(1, None), (2, None)])
+        assert t.delete(1)
+        assert not t.delete(1)
+        assert list(t.keys()) == [2]
+
+    def test_min_max(self):
+        t = Treap([(5, "e"), (1, "a"), (9, "i")])
+        assert t.min() == (1, "a")
+        assert t.max() == (9, "i")
+
+    def test_min_on_empty_raises(self):
+        with pytest.raises(KeyError):
+            Treap().min()
+        with pytest.raises(KeyError):
+            Treap().max()
+
+    def test_ordered_iteration(self):
+        keys = [5, 2, 8, 1, 9, 3]
+        t = Treap((k, None) for k in keys)
+        assert list(t.keys()) == sorted(keys)
+
+    def test_rank_and_kth(self):
+        t = Treap((k, k * 10) for k in [10, 20, 30, 40])
+        assert t.rank(10) == 0
+        assert t.rank(25) == 2
+        assert t.rank(100) == 4
+        assert t.kth(0) == (10, 100)
+        assert t.kth(3) == (40, 400)
+        with pytest.raises(IndexError):
+            t.kth(4)
+
+
+class TestBulk:
+    def test_insert_many_and_delete_many(self):
+        t = Treap()
+        t.insert_many((k, k) for k in range(50))
+        assert len(t) == 50
+        t.delete_many(range(0, 50, 2))
+        assert list(t.keys()) == list(range(1, 50, 2))
+        t.check_invariants()
+
+    def test_insert_many_replaces(self):
+        t = Treap([(1, "old")])
+        t.insert_many([(1, "new"), (2, "x")])
+        assert t.get(1) == "new"
+
+    def test_insert_many_with_duplicate_keys_in_batch(self):
+        t = Treap()
+        t.insert_many([(1, "a"), (1, "b")])
+        assert len(t) == 1 and t.get(1) == "b"  # later value wins
+
+    def test_empty_bulk_is_noop(self):
+        t = Treap([(1, None)])
+        t.insert_many([])
+        t.delete_many([])
+        assert len(t) == 1
+
+    def test_split_at(self):
+        t = Treap((k, None) for k in range(10))
+        old = t.split_at(4)
+        assert list(old.keys()) == [0, 1, 2, 3]
+        assert list(t.keys()) == list(range(4, 10))
+        t.check_invariants()
+        old.check_invariants()
+
+    def test_split_at_boundary_key_stays_right(self):
+        t = Treap((k, None) for k in [1, 2, 3])
+        old = t.split_at(2)
+        assert list(old.keys()) == [1]
+        assert list(t.keys()) == [2, 3]
+
+    def test_bulk_cost_charged(self):
+        cost = CostModel()
+        t = Treap(cost=cost)
+        t.insert_many((k, None) for k in range(128))
+        assert cost.work > 0 and cost.span > 0
+
+    def test_shape_depends_only_on_keys(self):
+        a = Treap()
+        for k in [5, 1, 9, 3]:
+            a.insert(k)
+        b = Treap()
+        b.insert_many((k, None) for k in [9, 3, 5, 1])
+        def shape(node):
+            if node is None:
+                return None
+            return (node.key, shape(node.left), shape(node.right))
+        assert shape(a._root) == shape(b._root)
+
+
+class TestRandomizedModel:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_against_dict_model(self, seed):
+        rng = random.Random(seed)
+        t = Treap()
+        model = {}
+        for _ in range(250):
+            op = rng.random()
+            if op < 0.35:
+                ks = [rng.randrange(200) for _ in range(rng.randrange(1, 8))]
+                t.insert_many([(k, k) for k in ks])
+                model.update((k, k) for k in ks)
+            elif op < 0.55:
+                ks = [rng.randrange(200) for _ in range(rng.randrange(1, 8))]
+                t.delete_many(ks)
+                for k in ks:
+                    model.pop(k, None)
+            elif op < 0.7:
+                k = rng.randrange(200)
+                t.insert(k, -k)
+                model[k] = -k
+            elif op < 0.85:
+                k = rng.randrange(200)
+                assert t.delete(k) == (k in model)
+                model.pop(k, None)
+            else:
+                thr = rng.randrange(200)
+                old = t.split_at(thr)
+                assert sorted(old.keys()) == sorted(k for k in model if k < thr)
+                model = {k: v for k, v in model.items() if k >= thr}
+            t.check_invariants()
+            assert list(t.items()) == sorted(model.items())
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    initial=st.lists(st.integers(0, 100), max_size=60),
+    add=st.lists(st.integers(0, 100), max_size=30),
+    remove=st.lists(st.integers(0, 100), max_size=30),
+    threshold=st.integers(0, 100),
+)
+def test_property_bulk_ops_match_set_model(initial, add, remove, threshold):
+    t = Treap((k, None) for k in initial)
+    model = set(initial)
+    t.insert_many((k, None) for k in add)
+    model |= set(add)
+    t.delete_many(remove)
+    model -= set(remove)
+    old = t.split_at(threshold)
+    expired = {k for k in model if k < threshold}
+    assert set(old.keys()) == expired
+    assert set(t.keys()) == model - expired
+    t.check_invariants()

@@ -1,0 +1,113 @@
+"""Tests for the verify_msf utility, the euclidean generator, and the
+report aggregator CLI."""
+
+import pathlib
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphgen.random_graphs import euclidean_knn_edges
+from repro.msf import EdgeArray, kruskal_msf, verify_msf
+from repro.report import build_report, main as report_main
+
+
+class TestVerifyMSF:
+    def _graph(self, seed, n=20, m=60):
+        rng = random.Random(seed)
+        rows = [
+            (rng.randrange(n), rng.randrange(n), round(rng.uniform(0, 5), 2), i)
+            for i in range(m)
+        ]
+        return EdgeArray.from_tuples(n, [r for r in rows if r[0] != r[1]])
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_accepts_true_msf(self, seed):
+        e = self._graph(seed)
+        assert verify_msf(e, kruskal_msf(e))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_rejects_swapped_edge(self, seed):
+        e = self._graph(seed)
+        pos = kruskal_msf(e)
+        rejected = sorted(set(range(e.m)) - set(pos.tolist()))
+        if not rejected or not len(pos):
+            pytest.skip("degenerate graph")
+        bad = sorted(set(pos.tolist()) - {int(pos[0])} | {rejected[0]})
+        assert not verify_msf(e, np.asarray(bad, dtype=np.int64))
+
+    def test_rejects_non_spanning(self):
+        e = EdgeArray.from_tuples(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        assert verify_msf(e, np.array([0, 1]))
+        assert not verify_msf(e, np.array([0]))
+
+    def test_rejects_cycle(self):
+        e = EdgeArray.from_tuples(3, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+        assert not verify_msf(e, np.array([0, 1, 2]))
+
+    def test_rejects_heavier_parallel_choice(self):
+        e = EdgeArray.from_tuples(2, [(0, 1, 1.0, 0), (0, 1, 5.0, 1)])
+        assert verify_msf(e, np.array([0]))
+        assert not verify_msf(e, np.array([1]))
+
+    def test_tie_break_uniqueness(self):
+        e = EdgeArray.from_tuples(3, [(0, 1, 1.0, 0), (1, 2, 1.0, 1), (2, 0, 1.0, 2)])
+        assert verify_msf(e, np.array([0, 1]))  # the unique (w, eid) MSF
+        assert not verify_msf(e, np.array([1, 2]))  # equal weight, wrong ids
+
+    def test_empty_graph(self):
+        e = EdgeArray.from_tuples(4, [])
+        assert verify_msf(e, np.empty(0, dtype=np.int64))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(2, 15),
+        rows=st.lists(
+            st.tuples(st.integers(0, 14), st.integers(0, 14), st.integers(0, 9)),
+            max_size=40,
+        ),
+    )
+    def test_property_kruskal_always_verifies(self, n, rows):
+        rows = [(u % n, v % n, float(w), i) for i, (u, v, w) in enumerate(rows)]
+        rows = [r for r in rows if r[0] != r[1]]
+        e = EdgeArray.from_tuples(n, rows)
+        assert verify_msf(e, kruskal_msf(e))
+
+
+class TestEuclideanGenerator:
+    def test_knn_shape(self):
+        pts = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (10.0, 0.0)]
+        edges = euclidean_knn_edges(pts, k=1)
+        pairs = {(min(u, v), max(u, v)) for u, v, _ in edges}
+        assert (0, 1) in pairs and (1, 2) in pairs
+        assert all(w > 0 for _, _, w in edges)
+
+    def test_knn_dedupes_symmetric_pairs(self):
+        pts = [(0.0, 0.0), (1.0, 0.0)]
+        edges = euclidean_knn_edges(pts, k=1)
+        assert len(edges) == 1
+
+    def test_weights_are_distances(self):
+        pts = [(0.0, 0.0), (3.0, 4.0)]
+        ((_, _, w),) = euclidean_knn_edges(pts, k=1)
+        assert w == pytest.approx(5.0)
+
+
+class TestReport:
+    def test_build_report_collects_tables(self, tmp_path: pathlib.Path):
+        (tmp_path / "thm11_work_scaling.txt").write_text("THE TABLE")
+        (tmp_path / "custom_extra.txt").write_text("EXTRA")
+        report = build_report(tmp_path)
+        assert "Theorem 1.1" in report
+        assert "THE TABLE" in report
+        assert "Other results" in report and "EXTRA" in report
+
+    def test_main_writes_report(self, tmp_path: pathlib.Path):
+        (tmp_path / "table1_msf.txt").write_text("ROW")
+        assert report_main([str(tmp_path)]) == 0
+        assert "ROW" in (tmp_path / "REPORT.md").read_text()
+
+    def test_main_missing_dir(self, tmp_path: pathlib.Path):
+        assert report_main([str(tmp_path / "nope")]) == 1
