@@ -32,13 +32,13 @@ def _edges(seed: int):
     return gnm_edges(N, M, random.Random(seed))
 
 
-def _run_batched(ell: int, seed: int) -> tuple[int, int]:
+def _run_batched(ell: int, seed: int) -> tuple[int, int, CostModel]:
     cost = CostModel()
     m = BatchIncrementalMSF(N, seed=seed, cost=cost)
     edges = _edges(seed)
     for i in range(0, len(edges), ell):
         m.batch_insert(edges[i : i + ell])
-    return cost.work, cost.span
+    return cost.work, cost.span, cost
 
 
 def _run_sequential(seed: int) -> tuple[int, int]:
@@ -49,13 +49,17 @@ def _run_sequential(seed: int) -> tuple[int, int]:
     return cost.work, cost.span
 
 
-def test_batching_ablation(record_table, benchmark):
+def test_batching_ablation(record_table, record_json, benchmark):
+    costs: list[CostModel] = []
+
     def sweep():
+        costs.clear()
         rows = []
         seq_w, seq_s = _run_sequential(29)
         rows.append(["1 (sequential [47])", seq_w, seq_s])
         for ell in (16, 128, 1024, M):
-            w, s = _run_batched(ell, 29)
+            w, s, cost = _run_batched(ell, 29)
+            costs.append(cost)
             rows.append([f"{ell}", w, s])
         static_cost = CostModel()
         kkt_msf(EdgeArray.from_tuples(N, _edges(29)), cost=static_cost)
@@ -69,6 +73,11 @@ def test_batching_ablation(record_table, benchmark):
         title=f"Ablation: inserting m = {M} edges into n = {N} vertices",
     )
     record_table("ablation_batching", table)
+    record_json(
+        "ablation_batching",
+        costs,
+        params={"n": N, "m": M, "ells": [16, 128, 1024, M], "seed": 29},
+    )
 
     seq_work, seq_span = rows[0][1], rows[0][2]
     one_batch_work, one_batch_span = rows[-2][1], rows[-2][2]

@@ -28,8 +28,11 @@ N = 4096
 RULES = ("mr", "ordered")
 
 
-def test_compress_rule_ablation(record_table, benchmark):
+def test_compress_rule_ablation(record_table, record_json, benchmark):
+    costs: list[CostModel] = []
+
     def sweep():
+        costs.clear()
         rows = []
         for rule in RULES:
             rng = random.Random(3)
@@ -45,6 +48,7 @@ def test_compress_rule_ablation(record_table, benchmark):
                 for u, v, w, eid in churn:
                     f.batch_cut([eid])
                     f.batch_link([(u, v, w, eid)])
+            costs.append(cost)
             stats = f.rc.level_statistics()
             with measure(cost) as q:
                 for _ in range(32):
@@ -76,6 +80,11 @@ def test_compress_rule_ablation(record_table, benchmark):
         "'faster RC tree' direction)",
     )
     record_table("ablation_compress_rule", table)
+    record_json(
+        "ablation_compress_rule",
+        costs,
+        params={"n": N, "rules": list(RULES), "churn_ops": 48, "queries": 32},
+    )
     mr, ordered = rows
     assert ordered[1] < mr[1], "ordered rule must shorten the contraction"
     assert ordered[2] < mr[2], "ordered rule must shrink leveled storage"

@@ -47,8 +47,11 @@ def _local_graph(ell: int, seed: int) -> EdgeArray:
     return EdgeArray.from_tuples(n, rows)
 
 
-def test_kernel_work_comparison(record_table, benchmark):
+def test_kernel_work_comparison(record_table, record_json, benchmark):
+    costs: list[CostModel] = []
+
     def sweep():
+        costs.clear()
         out = []
         for ell in (64, 512, 4096):
             g = _local_graph(ell, seed=ell)
@@ -56,7 +59,9 @@ def test_kernel_work_comparison(record_table, benchmark):
             expected = None
             for name, kernel in KERNELS.items():
                 cost = CostModel()
-                pos = kernel(g, cost=cost)
+                with cost.phase(name, items=g.m):
+                    pos = kernel(g, cost=cost)
+                costs.append(cost)
                 if expected is None:
                     expected = sorted(pos.tolist())
                 else:
@@ -72,6 +77,11 @@ def test_kernel_work_comparison(record_table, benchmark):
         title="Ablation: static MSF kernel work on CPT + E+ shaped graphs",
     )
     record_table("ablation_msf_kernel_work", table)
+    record_json(
+        "ablation_msf_kernel_work",
+        costs,
+        params={"ells": [64, 512, 4096], "kernels": sorted(KERNELS)},
+    )
     # KKT's expected-linear work must grow slower than Kruskal's sort-bound.
     kkt_growth = data[-1][2] / data[0][2]
     kruskal_growth = data[-1][3] / data[0][3]

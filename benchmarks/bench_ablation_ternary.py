@@ -29,8 +29,11 @@ SHAPES = {
 }
 
 
-def test_ternarization_overhead(record_table, benchmark):
+def test_ternarization_overhead(record_table, record_json, benchmark):
+    costs: list[CostModel] = []
+
     def sweep():
+        costs.clear()
         rows = []
         for name, gen in SHAPES.items():
             rng = random.Random(41)
@@ -46,6 +49,7 @@ def test_ternarization_overhead(record_table, benchmark):
                 for u, v, w, eid in churn_edges:
                     f.batch_cut([eid])
                     f.batch_link([(u, v, w, eid)])
+            costs.append(cost)
             stats = f.rc.level_statistics()
             copies = f.ternary.num_copies
             rows.append(
@@ -74,6 +78,11 @@ def test_ternarization_overhead(record_table, benchmark):
         title=f"Ablation: ternarization under degree extremes, n = {N}",
     )
     record_table("ablation_ternary", table)
+    record_json(
+        "ablation_ternary",
+        costs,
+        params={"n": N, "shapes": sorted(SHAPES), "churn_ops": 64},
+    )
 
     by_name = {r[0]: r for r in rows}
     lg = math.log2(N)

@@ -17,6 +17,7 @@ from repro.paperdata import (
     FIG1_N,
     FIG1_NAMES,
 )
+from repro.runtime import CostModel
 from repro.trees import DynamicForest
 
 NAMES = FIG1_NAMES
@@ -24,7 +25,7 @@ MARKED = FIG1_MARKED
 
 
 def _build() -> DynamicForest:
-    f = DynamicForest(FIG1_N, seed=2020)
+    f = DynamicForest(FIG1_N, seed=2020, cost=CostModel())
     f.batch_link(FIG1_EDGES)
     return f
 
@@ -33,7 +34,7 @@ def _label(v: int) -> str:
     return NAMES.get(v, f"v{v}")
 
 
-def test_regenerate_figure1(record_table, benchmark):
+def test_regenerate_figure1(record_table, record_json, benchmark):
     f = _build()
     cpt = benchmark.pedantic(
         lambda: f.compressed_path_tree(MARKED), rounds=3, iterations=1
@@ -55,6 +56,12 @@ def test_regenerate_figure1(record_table, benchmark):
         )
     )
     record_table("fig1_cpt_example", out)
+    record_json(
+        "fig1_cpt_example",
+        f.cost,
+        params={"n": FIG1_N, "marked": sorted(MARKED)},
+        extra={"cpt_edges": len(FIG1_EXPECTED_CPT)},
+    )
 
 
 def test_wallclock_pairwise_query(benchmark):

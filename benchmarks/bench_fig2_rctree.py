@@ -12,12 +12,13 @@ from __future__ import annotations
 
 from repro.analysis import format_table
 from repro.paperdata import FIG2_NAMES, fig2_links
+from repro.runtime import CostModel
 from repro.trees import DynamicForest
 from repro.trees.cluster import ClusterKind
 
 
 def _build(seed: int = 2) -> DynamicForest:
-    f = DynamicForest(len(FIG2_NAMES), seed=seed)
+    f = DynamicForest(len(FIG2_NAMES), seed=seed, cost=CostModel())
     f.batch_link(fig2_links())
     return f
 
@@ -56,7 +57,7 @@ def _render_rc_tree(forest: DynamicForest) -> str:
     return "\n".join(lines)
 
 
-def test_regenerate_figure2(record_table, benchmark):
+def test_regenerate_figure2(record_table, record_json, benchmark):
     forest = benchmark.pedantic(_build, rounds=3, iterations=1)
     rc, tern = forest.rc, forest.ternary
 
@@ -76,6 +77,11 @@ def test_regenerate_figure2(record_table, benchmark):
 
     rendering = "Figure 2c: RC tree\n" + _render_rc_tree(forest)
     record_table("fig2_rctree_example", schedule + "\n\n" + rendering)
+    record_json(
+        "fig2_rctree_example",
+        forest.cost,
+        params={"n": len(FIG2_NAMES), "seed": 2},
+    )
 
     # Structural validation (the properties the figure illustrates).
     root = rc.root_cluster(tern.canonical(0))

@@ -43,11 +43,15 @@ QUERIES = {
 }
 
 
-def test_query_work_logarithmic(record_table, benchmark):
+def test_query_work_logarithmic(record_table, record_json, benchmark):
+    costs: list[CostModel] = []
+
     def sweep():
+        costs.clear()
         rows = []
         for n in NS:
             f = _forest(n)
+            costs.append(f.cost)
             rng = random.Random(n)
             row = [n]
             for name, q in QUERIES.items():
@@ -65,6 +69,11 @@ def test_query_work_logarithmic(record_table, benchmark):
         title="RC-tree query work per call (each column must grow ~lg n)",
     )
     record_table("queries_work", table)
+    record_json(
+        "queries_work",
+        costs,
+        params={"ns": NS, "queries": sorted(QUERIES), "reps": 32},
+    )
     # 16x growth in n must cost well under 4x per query (lg 4096 / lg 256 = 1.5).
     for col in range(1, len(QUERIES) + 1):
         small, big = rows[0][col], rows[-1][col]

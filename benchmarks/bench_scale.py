@@ -18,10 +18,14 @@ N = 16384
 TOTAL_EDGES = 3 * N
 
 
-def test_end_to_end_scale(record_table, benchmark):
+def test_end_to_end_scale(record_table, record_json, benchmark):
+    costs: list[CostModel] = []
+
     def run():
+        costs.clear()
         rng = random.Random(2024)
         cost = CostModel()
+        costs.append(cost)
         m = BatchIncrementalMSF(N, seed=2024, cost=cost)
         phases = []
         inserted = 0
@@ -66,4 +70,10 @@ def test_end_to_end_scale(record_table, benchmark):
             title=f"Scale run: {TOTAL_EDGES} edges into n = {N} "
             f"({m.num_msf_edges} MSF edges, {m.num_components} components)",
         ),
+    )
+    record_json(
+        "scale_end_to_end",
+        costs,
+        params={"n": N, "total_edges": TOTAL_EDGES, "batch_sizes": [64, 512, 4096]},
+        extra={"msf_edges": m.num_msf_edges, "components": m.num_components},
     )

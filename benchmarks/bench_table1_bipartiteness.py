@@ -46,15 +46,21 @@ def _measure(model: str, ell: int, seed: int) -> float:
             struct.is_bipartite()
         inserted += len(b.edges)
         work += c.work
-    return work / max(inserted, 1)
+    return work / max(inserted, 1), cost
 
 
-def test_table1_row_bipartiteness(record_table, benchmark):
+def test_table1_row_bipartiteness(record_table, record_json, benchmark):
+    costs: list[CostModel] = []
+
     def sweep():
-        return [
-            (ell, _measure("incremental", ell, 17), _measure("window", ell, 17))
-            for ell in ELLS
-        ]
+        costs.clear()
+        out = []
+        for ell in ELLS:
+            inc, inc_cost = _measure("incremental", ell, 17)
+            sw, sw_cost = _measure("window", ell, 17)
+            costs.extend([inc_cost, sw_cost])
+            out.append((ell, inc, sw))
+        return out
 
     data = benchmark.pedantic(sweep, rounds=1, iterations=1)
     rows = [[ell, f"{inc:.0f}", f"{sw:.0f}"] for ell, inc, sw in data]
@@ -64,6 +70,11 @@ def test_table1_row_bipartiteness(record_table, benchmark):
         title=f"Table 1 'Bipartiteness': per-edge work, n = {N}",
     )
     record_table("table1_bipartiteness", table)
+    record_json(
+        "table1_bipartiteness",
+        costs,
+        params={"n": N, "ells": ELLS, "rounds": 5, "seed": 17},
+    )
     for _, inc, sw in data:
         assert inc < sw  # alpha(n) vs lg factor
         assert sw < N

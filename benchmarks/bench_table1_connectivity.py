@@ -26,7 +26,7 @@ N = 2048
 ELLS = [4, 16, 64, 256, 1024]
 
 
-def _measure_sw(ell: int, seed: int) -> int:
+def _measure_sw(ell: int, seed: int) -> tuple[int, CostModel]:
     rng = random.Random(seed)
     cost = CostModel()
     sw = SWConnectivityEager(N, seed=seed, cost=cost)
@@ -38,10 +38,10 @@ def _measure_sw(ell: int, seed: int) -> int:
             if b.expire:
                 sw.batch_expire(b.expire)
         total += c.work
-    return total // max(1, sum(len(b.edges) for b in stream))
+    return total // max(1, sum(len(b.edges) for b in stream)), cost
 
 
-def _measure_inc(ell: int, seed: int) -> int:
+def _measure_inc(ell: int, seed: int) -> tuple[int, CostModel]:
     rng = random.Random(seed)
     cost = CostModel()
     inc = IncrementalConnectivity(N, seed=seed, cost=cost)
@@ -51,15 +51,21 @@ def _measure_inc(ell: int, seed: int) -> int:
         with measure(cost) as c:
             inc.batch_insert(list(b.edges))
         total += c.work
-    return total // max(1, sum(len(b.edges) for b in stream))
+    return total // max(1, sum(len(b.edges) for b in stream)), cost
 
 
-def test_table1_row_connectivity(record_table, benchmark):
+def test_table1_row_connectivity(record_table, record_json, benchmark):
+    costs: list[CostModel] = []
+
     def sweep():
-        return [
-            (ell, _measure_inc(ell, seed=3), _measure_sw(ell, seed=3))
-            for ell in ELLS
-        ]
+        costs.clear()
+        out = []
+        for ell in ELLS:
+            inc_w, inc_cost = _measure_inc(ell, seed=3)
+            sw_w, sw_cost = _measure_sw(ell, seed=3)
+            costs.extend([inc_cost, sw_cost])
+            out.append((ell, inc_w, sw_w))
+        return out
 
     data = benchmark.pedantic(sweep, rounds=1, iterations=1)
     rows = []
@@ -81,6 +87,11 @@ def test_table1_row_connectivity(record_table, benchmark):
         title=f"Table 1 'Connectivity': per-edge work, n = {N}",
     )
     record_table("table1_connectivity", table)
+    record_json(
+        "table1_connectivity",
+        costs,
+        params={"n": N, "ells": ELLS, "rounds": 6, "seed": 3},
+    )
     # Shape: incremental (alpha) is cheaper per edge than sliding window
     # (lg factor) at every batch size; both are n-independent per edge.
     for ell, inc_w, sw_w in data:

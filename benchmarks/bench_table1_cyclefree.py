@@ -43,15 +43,21 @@ def _measure(model: str, ell: int, seed: int) -> float:
             struct.has_cycle()
         inserted += len(b.edges)
         work += c.work
-    return work / max(inserted, 1)
+    return work / max(inserted, 1), cost
 
 
-def test_table1_row_cyclefree(record_table, benchmark):
+def test_table1_row_cyclefree(record_table, record_json, benchmark):
+    costs: list[CostModel] = []
+
     def sweep():
-        return [
-            (ell, _measure("incremental", ell, 19), _measure("window", ell, 19))
-            for ell in ELLS
-        ]
+        costs.clear()
+        out = []
+        for ell in ELLS:
+            inc, inc_cost = _measure("incremental", ell, 19)
+            sw, sw_cost = _measure("window", ell, 19)
+            costs.extend([inc_cost, sw_cost])
+            out.append((ell, inc, sw))
+        return out
 
     data = benchmark.pedantic(sweep, rounds=1, iterations=1)
     rows = [[ell, f"{inc:.0f}", f"{sw:.0f}"] for ell, inc, sw in data]
@@ -61,6 +67,11 @@ def test_table1_row_cyclefree(record_table, benchmark):
         title=f"Table 1 'Cycle-freeness': per-edge work, n = {N}",
     )
     record_table("table1_cyclefree", table)
+    record_json(
+        "table1_cyclefree",
+        costs,
+        params={"n": N, "ells": ELLS, "rounds": 5, "seed": 19},
+    )
     for _, inc, sw in data:
         assert inc < sw
         assert sw < N

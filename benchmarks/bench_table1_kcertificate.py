@@ -45,15 +45,21 @@ def _measure(model: str, k: int, seed: int) -> float:
                 struct.batch_expire(b.expire)
         inserted += len(b.edges)
         work += c.work
-    return work / max(inserted, 1)
+    return work / max(inserted, 1), cost
 
 
-def test_table1_row_kcertificate(record_table, benchmark):
+def test_table1_row_kcertificate(record_table, record_json, benchmark):
+    costs: list[CostModel] = []
+
     def sweep():
-        return [
-            (k, _measure("incremental", k, 13), _measure("window", k, 13))
-            for k in KS
-        ]
+        costs.clear()
+        out = []
+        for k in KS:
+            inc, inc_cost = _measure("incremental", k, 13)
+            sw, sw_cost = _measure("window", k, 13)
+            costs.extend([inc_cost, sw_cost])
+            out.append((k, inc, sw))
+        return out
 
     data = benchmark.pedantic(sweep, rounds=1, iterations=1)
     base_inc = data[0][1]
@@ -68,6 +74,11 @@ def test_table1_row_kcertificate(record_table, benchmark):
         title=f"Table 1 'k-certificate': per-edge work, n = {N}, l = {ELL}",
     )
     record_table("table1_kcertificate", table)
+    record_json(
+        "table1_kcertificate",
+        costs,
+        params={"n": N, "ks": KS, "ell": ELL, "rounds": 8, "seed": 13},
+    )
     # Shape: work grows with k but sublinearly in this workload (later
     # forests see only the cascade, which shrinks), and never superlinearly.
     for k, inc, sw in data:

@@ -28,7 +28,7 @@ ELLS = [8, 32, 128, 512]
 MAX_W = 64.0
 
 
-def _measure_incremental(ell: int, seed: int) -> float:
+def _measure_incremental(ell: int, seed: int) -> tuple[float, CostModel]:
     rng = random.Random(seed)
     cost = CostModel()
     m = BatchIncrementalMSF(N, seed=seed, cost=cost)
@@ -44,10 +44,10 @@ def _measure_incremental(ell: int, seed: int) -> float:
             m.batch_insert(batch)
         inserted += len(batch)
         work += c.work
-    return work / max(inserted, 1)
+    return work / max(inserted, 1), cost
 
 
-def _measure_sw_approx(ell: int, eps: float, seed: int) -> float:
+def _measure_sw_approx(ell: int, eps: float, seed: int) -> tuple[float, CostModel]:
     rng = random.Random(seed)
     cost = CostModel()
     sw = SWApproxMSFWeight(N, eps=eps, max_weight=MAX_W, seed=seed, cost=cost)
@@ -64,16 +64,20 @@ def _measure_sw_approx(ell: int, eps: float, seed: int) -> float:
             sw.weight()
         inserted += len(b.edges)
         work += c.work
-    return work / max(inserted, 1)
+    return work / max(inserted, 1), cost
 
 
-def test_table1_row_msf(record_table, benchmark):
+def test_table1_row_msf(record_table, record_json, benchmark):
+    costs: list[CostModel] = []
+
     def sweep():
+        costs.clear()
         rows = []
         for ell in ELLS:
-            inc = _measure_incremental(ell, seed=11)
-            a01 = _measure_sw_approx(ell, 0.1, seed=11)
-            a03 = _measure_sw_approx(ell, 0.3, seed=11)
+            inc, inc_cost = _measure_incremental(ell, seed=11)
+            a01, a01_cost = _measure_sw_approx(ell, 0.1, seed=11)
+            a03, a03_cost = _measure_sw_approx(ell, 0.3, seed=11)
+            costs.extend([inc_cost, a01_cost, a03_cost])
             rows.append((ell, inc, a03, a01))
         return rows
 
@@ -104,6 +108,11 @@ def test_table1_row_msf(record_table, benchmark):
         title=f"Table 1 'MSF': per-edge work, n = {N}, W = {MAX_W}",
     )
     record_table("table1_msf", table)
+    record_json(
+        "table1_msf",
+        costs,
+        params={"n": N, "ells": ELLS, "epsilons": [0.1, 0.3], "max_weight": MAX_W},
+    )
     # Shape: the eps^-1 lg W level count separates approximate from exact;
     # levels(0.1)/levels(0.3) ~ 3, so expect roughly that work ratio.
     for ell, inc, a03, a01 in data:

@@ -27,12 +27,16 @@ def _fresh(seed: int, cost=None) -> SWSparsifier:
     return SWSparsifier(N, eps=1.0, seed=seed, cost=cost)
 
 
-def test_table1_row_sparsifier_insert_work(record_table, benchmark):
+def test_table1_row_sparsifier_insert_work(record_table, record_json, benchmark):
+    costs: list[CostModel] = []
+
     def sweep():
+        costs.clear()
         out = []
         for ell in ELLS:
             rng = random.Random(ell)
             cost = CostModel()
+            costs.append(cost)
             sp = _fresh(31, cost=cost)
             inserted = 0
             work = 0
@@ -60,6 +64,11 @@ def test_table1_row_sparsifier_insert_work(record_table, benchmark):
         ),
     )
     record_table("table1_sparsifier_work", table)
+    record_json(
+        "table1_sparsifier_work",
+        costs,
+        params={"n": N, "ells": ELLS, "eps": 1.0, "rounds": 3},
+    )
     # Per-edge work is polylog-bounded: flat-ish in l, far below n^2.
     works = [w for _, w in data]
     assert max(works) < 40 * min(works)

@@ -33,18 +33,26 @@ def _prepared_structure(n: int, seed: int) -> BatchIncrementalMSF:
     return m
 
 
-def _measure_batch_work(n: int, ell: int, seed: int) -> tuple[int, int]:
+def _measure_batch_work(n: int, ell: int, seed: int) -> tuple[int, int, CostModel]:
     rng = random.Random(seed * 7919 + ell)
     m = _prepared_structure(n, seed)
     batch = gnm_edges(n, ell, rng)
     with measure(m.cost) as c:
         m.batch_insert(batch)
-    return c.work, c.span
+    return c.work, c.span, m.cost
 
 
-def test_work_scaling_matches_bound(record_table, benchmark):
+def test_work_scaling_matches_bound(record_table, record_json, benchmark):
+    costs: list[CostModel] = []
+
     def sweep():
-        return [(ell, *_measure_batch_work(N, ell, seed=1)) for ell in ELLS]
+        costs.clear()
+        out = []
+        for ell in ELLS:
+            work, span, cost = _measure_batch_work(N, ell, seed=1)
+            costs.append(cost)
+            out.append((ell, work, span))
+        return out
 
     data = benchmark.pedantic(sweep, rounds=1, iterations=1)
     rows = []
@@ -69,13 +77,27 @@ def test_work_scaling_matches_bound(record_table, benchmark):
         title="model fits (lower is better; the paper's bound should win)",
     )
     record_table("thm11_work_scaling", table + "\n\n" + fit_table)
+    record_json(
+        "thm11_work_scaling",
+        costs,
+        params={"n": N, "ells": ELLS, "seed": 1},
+        extra={"fit_residuals": {k: round(v, 6) for k, v in fits.items()}},
+    )
     assert fits["l*lg(1+n/l)"] < fits["n"]
     assert fits["l*lg(1+n/l)"] < fits["l*lg(n)"]
 
 
-def test_span_scaling_polylog(record_table, benchmark):
+def test_span_scaling_polylog(record_table, record_json, benchmark):
+    costs: list[CostModel] = []
+
     def sweep():
-        return [(n, _measure_batch_work(n, 64, seed=2)[1]) for n in (256, 1024, 4096)]
+        costs.clear()
+        out = []
+        for n in (256, 1024, 4096):
+            _, span, cost = _measure_batch_work(n, 64, seed=2)
+            costs.append(cost)
+            out.append((n, span))
+        return out
 
     data = benchmark.pedantic(sweep, rounds=1, iterations=1)
     rows = []
@@ -88,6 +110,11 @@ def test_span_scaling_polylog(record_table, benchmark):
         title="Theorem 1.1: batch insert span, l = 64",
     )
     record_table("thm11_span_scaling", table)
+    record_json(
+        "thm11_span_scaling",
+        costs,
+        params={"ns": [256, 1024, 4096], "ell": 64, "seed": 2},
+    )
     # Span must grow far slower than n: polylog shape.
     spans = [r[1] for r in rows]
     assert spans[-1] <= spans[0] * 8  # 16x n growth, <= 8x span growth

@@ -32,7 +32,7 @@ def _forest(kind: str, n: int, seed: int) -> DynamicForest:
 
 
 @pytest.mark.parametrize("kind", ["path", "random-tree"])
-def test_cpt_work_scaling(record_table, benchmark, kind):
+def test_cpt_work_scaling(record_table, record_json, benchmark, kind):
     f = _forest(kind, N, seed=3)
     rng = random.Random(99)
 
@@ -67,6 +67,12 @@ def test_cpt_work_scaling(record_table, benchmark, kind):
         [[k, f"{v:.3f}"] for k, v in sorted(fits.items(), key=lambda kv: kv[1])],
     )
     record_table(f"thm32_cpt_scaling_{kind}", table + "\n\n" + fit_table)
+    record_json(
+        f"thm32_cpt_scaling_{kind}",
+        f.cost,
+        params={"n": N, "ells": ELLS, "kind": kind, "seed": 3},
+        extra={"fit_residuals": {k: round(v, 6) for k, v in fits.items()}},
+    )
     assert fits["l*lg(1+n/l)"] < fits["n"]
 
 

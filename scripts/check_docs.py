@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Lint the ``repro`` imports inside docs/*.md code blocks.
+
+Documentation drifts when code moves; this linter keeps the drift visible.
+It extracts every fenced ```python block from the given markdown files
+(default: ``docs/*.md``, README.md, EXPERIMENTS.md), finds the
+``import repro...`` / ``from repro... import ...`` statements in them, and
+fails if any imported module or symbol does not resolve against the
+installed ``repro`` package.
+
+Only import statements are checked -- doc code blocks are illustrative
+fragments, not runnable scripts -- but an import naming a symbol that no
+longer exists is exactly the kind of rot this catches.
+
+Exit status: 0 when every import resolves, 1 otherwise (one line per
+failure).  Run directly or via ``tests/test_docs_lint.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_FENCE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def python_blocks(text: str) -> list[str]:
+    """Every fenced ```python block in a markdown document."""
+    return [m.group(1) for m in _FENCE.finditer(text)]
+
+
+def repro_imports(block: str) -> list[tuple[str, str | None]]:
+    """``(module, symbol)`` pairs imported from ``repro`` in ``block``.
+
+    ``import repro.x.y`` yields ``("repro.x.y", None)``;
+    ``from repro.x import a, b`` yields ``("repro.x", "a")``, ``("repro.x", "b")``.
+    Lines that do not parse as imports (prose-ish fragments) are skipped.
+    """
+    out: list[tuple[str, str | None]] = []
+    for line in block.splitlines():
+        stripped = line.strip()
+        if not stripped.startswith(("import repro", "from repro")):
+            continue
+        try:
+            tree = ast.parse(stripped)
+        except SyntaxError:
+            continue
+        for node in tree.body:
+            if isinstance(node, ast.Import):
+                out.extend(
+                    (alias.name, None)
+                    for alias in node.names
+                    if alias.name.split(".")[0] == "repro"
+                )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.split(".")[0] == "repro":
+                    out.extend(
+                        (node.module, alias.name)
+                        for alias in node.names
+                        if alias.name != "*"
+                    )
+    return out
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    """Failure messages for every unresolvable repro import in ``path``."""
+    failures = []
+    rel = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path
+    for block in python_blocks(path.read_text()):
+        for module, symbol in repro_imports(block):
+            try:
+                mod = importlib.import_module(module)
+            except ImportError as exc:
+                failures.append(f"{rel}: cannot import {module}: {exc}")
+                continue
+            if symbol is not None and not hasattr(mod, symbol):
+                failures.append(f"{rel}: {module} has no symbol {symbol!r}")
+    return failures
+
+
+def default_targets() -> list[pathlib.Path]:
+    """The markdown files the repo promises to keep import-accurate."""
+    targets = sorted((REPO_ROOT / "docs").glob("*.md"))
+    for name in ("README.md", "EXPERIMENTS.md", "DESIGN.md"):
+        p = REPO_ROOT / name
+        if p.exists():
+            targets.append(p)
+    return targets
+
+
+def main(argv: list[str]) -> int:
+    paths = [pathlib.Path(a) for a in argv] or default_targets()
+    failures: list[str] = []
+    checked = 0
+    for path in paths:
+        checked += 1
+        failures.extend(check_file(path))
+    for msg in failures:
+        print(msg, file=sys.stderr)
+    if not failures:
+        print(f"docs import lint: {checked} files clean")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

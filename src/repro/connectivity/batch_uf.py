@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.connectivity.components import _star_contraction
+from repro.obs.metrics import get_metrics
 from repro.runtime.cost import CostModel, log2ceil
 
 
@@ -75,15 +76,30 @@ class BatchUnionFind:
         ell = us.shape[0]
         if ell == 0:
             return np.empty(0, dtype=np.int64)
-        roots_u = np.fromiter((self.find(int(x)) for x in us), dtype=np.int64, count=ell)
-        roots_v = np.fromiter((self.find(int(x)) for x in vs), dtype=np.int64, count=ell)
-        self.cost.add(work=ell, span=log2ceil(max(ell, 2)))
+        metrics = get_metrics()
+        metrics.counter("batch_uf.batches").inc()
+        metrics.histogram("batch_uf.batch_size").observe(ell)
 
-        self._epoch += 1
-        comp, forest_pos = _star_contraction(
-            self.n, roots_u, roots_v, self._seed ^ self._epoch, self.cost
-        )
-        for pos in forest_pos:
-            joined = self.union(int(us[pos]), int(vs[pos]))
-            assert joined  # star contraction only reports cross edges
+        # Stage 1: find the representative of every endpoint.
+        with self.cost.phase("uf-find", items=2 * ell):
+            roots_u = np.fromiter(
+                (self.find(int(x)) for x in us), dtype=np.int64, count=ell
+            )
+            roots_v = np.fromiter(
+                (self.find(int(x)) for x in vs), dtype=np.int64, count=ell
+            )
+            self.cost.add(work=ell, span=log2ceil(max(ell, 2)))
+
+        # Stage 2: connected components of the root graph (star contraction).
+        with self.cost.phase("uf-components", items=ell):
+            self._epoch += 1
+            comp, forest_pos = _star_contraction(
+                self.n, roots_u, roots_v, self._seed ^ self._epoch, self.cost
+            )
+
+        # Stage 3: install the new component representatives.
+        with self.cost.phase("uf-install", items=len(forest_pos)):
+            for pos in forest_pos:
+                joined = self.union(int(us[pos]), int(vs[pos]))
+                assert joined  # star contraction only reports cross edges
         return forest_pos

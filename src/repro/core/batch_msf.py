@@ -29,6 +29,7 @@ from repro.msf.kkt import kkt_msf
 from repro.msf.kruskal import kruskal_msf
 from repro.msf.boruvka import boruvka_msf
 from repro.msf.prim import prim_msf
+from repro.obs.metrics import get_metrics
 from repro.primitives.semisort import dedup_ints
 from repro.runtime.cost import CostModel
 from repro.trees.forest import DynamicForest
@@ -93,9 +94,13 @@ class BatchIncrementalMSF:
     ) -> None:
         self.n = n
         self.cost = cost if cost is not None else CostModel()
-        self.forest = DynamicForest(
-            n, seed=seed, cost=self.cost, compress_rule=compress_rule
-        )
+        # The empty-forest build is charged to its own phase so that every
+        # unit of work on this model is attributed to a named phase (the
+        # observability layer's sum-to-total invariant; docs/observability.md).
+        with self.cost.phase("init", items=n):
+            self.forest = DynamicForest(
+                n, seed=seed, cost=self.cost, compress_rule=compress_rule
+            )
         if callable(kernel):
             self._kernel = kernel
         else:
@@ -146,40 +151,56 @@ class BatchIncrementalMSF:
 
         ``O(l lg(1 + n/l))`` expected work, ``O(lg^2 n)`` span w.h.p.
         """
-        batch, pre_rejected = self._normalize(edges)
-        report = InsertReport(rejected=pre_rejected)
-        if not batch:
-            return report
+        # Algorithm 2's four stages each run under a named phase span, so a
+        # trace attributes every unit of the O(l lg(1 + n/l)) work to the
+        # stage that charged it (see docs/observability.md).
+        metrics = get_metrics()
 
         # Line 2: K <- endpoints of E+ (semisort/dedup).
-        endpoints = np.fromiter(
-            (x for u, v, _, _ in batch for x in (u, v)),
-            dtype=np.int64,
-            count=2 * len(batch),
-        )
-        marks = dedup_ints(endpoints, cost=self.cost)
+        with self.cost.phase("semisort") as ph:
+            batch, pre_rejected = self._normalize(edges)
+            report = InsertReport(rejected=pre_rejected)
+            ph.count(len(batch))
+            if not batch:
+                return report
+            endpoints = np.fromiter(
+                (x for u, v, _, _ in batch for x in (u, v)),
+                dtype=np.int64,
+                count=2 * len(batch),
+            )
+            marks = dedup_ints(endpoints, cost=self.cost)
+        metrics.counter("batch_msf.batches").inc()
+        metrics.histogram("batch_msf.batch_size").observe(len(batch))
 
         # Line 3: compressed path trees w.r.t. K.
-        cpt = self.forest.compressed_path_tree(marks.tolist())
+        with self.cost.phase("cpt-build") as ph:
+            cpt = self.forest.compressed_path_tree(marks.tolist())
+            ph.count(cpt.num_vertices)
 
         # Line 4: MSF of C ∪ E+ on a dense local vertex relabeling.
-        local_of = {v: i for i, v in enumerate(cpt.vertices)}
-        rows = [
-            (local_of[a], local_of[b], w, eid) for a, b, w, eid in cpt.edges
-        ] + [(local_of[u], local_of[v], w, eid) for u, v, w, eid in batch]
-        local = EdgeArray.from_tuples(len(local_of), rows)
-        chosen = set(local.eid[self._kernel(local, cost=self.cost)].tolist())
+        with self.cost.phase("msf-kernel") as ph:
+            local_of = {v: i for i, v in enumerate(cpt.vertices)}
+            rows = [
+                (local_of[a], local_of[b], w, eid) for a, b, w, eid in cpt.edges
+            ] + [(local_of[u], local_of[v], w, eid) for u, v, w, eid in batch]
+            local = EdgeArray.from_tuples(len(local_of), rows)
+            chosen = set(local.eid[self._kernel(local, cost=self.cost)].tolist())
+            ph.count(len(rows))
 
         # Lines 5-6: RC.BatchDelete(E(C) \ E(M)); RC.BatchInsert(E(M) ∩ E+),
         # applied in one propagation pass over the dynamic forest.
-        cut_eids = [eid for _, _, _, eid in cpt.edges if eid not in chosen]
-        links = [e for e in batch if e[3] in chosen]
-        for eid in cut_eids:
-            u, v, w = self.forest.edge_info(eid)
-            report.evicted.append((u, v, w, eid))
-        report.inserted.extend(links)
-        report.rejected.extend(e for e in batch if e[3] not in chosen)
-        self.forest.batch_update(links=links, cut_eids=cut_eids)
+        with self.cost.phase("forest-splice") as ph:
+            cut_eids = [eid for _, _, _, eid in cpt.edges if eid not in chosen]
+            links = [e for e in batch if e[3] in chosen]
+            for eid in cut_eids:
+                u, v, w = self.forest.edge_info(eid)
+                report.evicted.append((u, v, w, eid))
+            report.inserted.extend(links)
+            report.rejected.extend(e for e in batch if e[3] not in chosen)
+            self.forest.batch_update(links=links, cut_eids=cut_eids)
+            ph.count(len(links) + len(cut_eids))
+        metrics.counter("batch_msf.inserted").inc(len(report.inserted))
+        metrics.counter("batch_msf.evicted").inc(len(report.evicted))
         return report
 
     def forget_edges(self, eids: Sequence[int]) -> None:
@@ -190,7 +211,10 @@ class BatchIncrementalMSF:
         because the recent-edge property guarantees any replacement edge
         would already have been kept in the forest.
         """
-        self.forest.batch_cut(list(eids))
+        eids = list(eids)
+        with self.cost.phase("forest-splice", items=len(eids)):
+            self.forest.batch_cut(eids)
+        get_metrics().counter("batch_msf.expired").inc(len(eids))
 
     # ------------------------------------------------------------------
     # Queries

@@ -1,0 +1,58 @@
+"""Structured observability: phase tracing, metrics, and benchmark records.
+
+Three complementary layers (``docs/observability.md`` is the guide):
+
+- **Phase spans** live on :class:`~repro.runtime.cost.CostModel`
+  (:meth:`~repro.runtime.cost.CostModel.phase`): hierarchical, named
+  regions that attribute simulated work/span, wall time and item counts to
+  algorithm stages -- Algorithm 2's semisort -> CPT build -> MSF kernel ->
+  forest splice pipeline is instrumented out of the box.
+  :class:`~repro.runtime.cost.PhaseNode` is re-exported here.
+- **Metrics** (:mod:`repro.obs.metrics`): a process-wide
+  :class:`MetricsRegistry` of counters, gauges and histograms with a
+  zero-overhead no-op mode when disabled.
+- **Exporters** (:mod:`repro.obs.export`): :class:`BenchmarkRecord` -- one
+  machine-readable JSON document per benchmark run (parameters, per-phase
+  costs, wall times, git revision, metrics snapshot) -- with JSON/JSONL
+  writers and a loader; :mod:`repro.obs.trace` renders a record's phase
+  tree as an aligned text table (also via ``python -m repro.report
+  --trace``).
+"""
+
+from repro.runtime.cost import PhaseNode
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    set_metrics_enabled,
+)
+from repro.obs.export import (
+    BenchmarkRecord,
+    append_jsonl,
+    git_revision,
+    read_record,
+    record_from_costs,
+    write_record,
+)
+from repro.obs.trace import render_phase_table
+
+__all__ = [
+    "PhaseNode",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "set_metrics_enabled",
+    "BenchmarkRecord",
+    "record_from_costs",
+    "write_record",
+    "read_record",
+    "append_jsonl",
+    "git_revision",
+    "render_phase_table",
+]

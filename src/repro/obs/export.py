@@ -1,0 +1,200 @@
+"""Benchmark records: one JSON document per benchmark run.
+
+A :class:`BenchmarkRecord` captures everything needed to read a run without
+re-running it: the harness parameters, the per-phase cost breakdown (from
+:class:`~repro.runtime.cost.CostModel` phase trees), the cost-model totals,
+wall time, the git revision of the tree that produced it, and a snapshot of
+the :mod:`repro.obs.metrics` registry.  The schema is documented in
+``docs/observability.md`` and versioned via the ``schema`` field.
+
+Invariant (by construction in :func:`record_from_costs`): the per-phase
+``work`` of the record's top-level phases sums *exactly* to
+``totals["work"]`` -- any work charged outside every phase is made explicit
+as a synthetic ``(untracked)`` phase rather than silently dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.runtime.cost import CostModel, PhaseNode
+
+SCHEMA = "repro.obs/benchmark-record/v1"
+UNTRACKED = "(untracked)"
+
+_git_rev_cache: dict[str, str | None] = {}
+
+
+def git_revision(cwd: str | pathlib.Path | None = None) -> str | None:
+    """The short git revision of ``cwd`` (cached; None outside a repo)."""
+    key = str(pathlib.Path(cwd) if cwd is not None else pathlib.Path.cwd())
+    if key not in _git_rev_cache:
+        try:
+            out = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=key,
+                capture_output=True,
+                text=True,
+                timeout=10,
+            )
+            _git_rev_cache[key] = out.stdout.strip() if out.returncode == 0 else None
+        except (OSError, subprocess.SubprocessError):
+            _git_rev_cache[key] = None
+    return _git_rev_cache[key]
+
+
+@dataclass
+class BenchmarkRecord:
+    """One benchmark run, machine-readable.
+
+    Attributes:
+        name: the artifact name (matches ``bench_results/<name>.txt``).
+        params: harness parameters (n, batch sizes, seeds, sweep values).
+        phases: top-level phase dicts (:meth:`PhaseNode.to_dict` shape);
+            their ``work`` values sum to ``totals["work"]``.
+        totals: ``{"work", "span", "wall_s"}`` aggregated over the run.
+        metrics: a :meth:`MetricsRegistry.as_dict` snapshot (may be empty).
+        extra: free-form benchmark-specific results (fit residuals, table
+            rows, assertions checked).
+        git_rev: short revision of the producing tree (None if unknown).
+        created: Unix timestamp of record creation.
+        schema: record format version tag.
+    """
+
+    name: str
+    params: dict = field(default_factory=dict)
+    phases: list[dict] = field(default_factory=list)
+    totals: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+    git_rev: str | None = None
+    created: float = 0.0
+    schema: str = SCHEMA
+
+    def to_dict(self) -> dict:
+        """The record as a JSON-ready plain dict."""
+        return {
+            "schema": self.schema,
+            "name": self.name,
+            "created": self.created,
+            "git_rev": self.git_rev,
+            "params": self.params,
+            "totals": self.totals,
+            "phases": self.phases,
+            "metrics": self.metrics,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "BenchmarkRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            name=d["name"],
+            params=dict(d.get("params", {})),
+            phases=list(d.get("phases", [])),
+            totals=dict(d.get("totals", {})),
+            metrics=dict(d.get("metrics", {})),
+            extra=dict(d.get("extra", {})),
+            git_rev=d.get("git_rev"),
+            created=float(d.get("created", 0.0)),
+            schema=d.get("schema", SCHEMA),
+        )
+
+    def phase_tree(self) -> PhaseNode:
+        """The record's phases as one rebuilt :class:`PhaseNode` root."""
+        root = PhaseNode("total")
+        root.work = int(self.totals.get("work", 0))
+        root.span = int(self.totals.get("span", 0))
+        root.wall = float(self.totals.get("wall_s", 0.0))
+        for d in self.phases:
+            child = PhaseNode.from_dict(d)
+            root.children[child.name] = child
+        return root
+
+
+def record_from_costs(
+    name: str,
+    costs: CostModel | Iterable[CostModel],
+    params: dict | None = None,
+    wall_s: float | None = None,
+    metrics: dict | None = None,
+    extra: dict | None = None,
+) -> BenchmarkRecord:
+    """Build a record from one or more cost models' phase trees.
+
+    Several models (e.g. one per sweep configuration) are merged phase-by-
+    phase; totals are the sums of their work and span (the run executed
+    them sequentially).  Work or span charged outside every phase becomes a
+    synthetic ``(untracked)`` top-level phase, so top-level phase work
+    always sums exactly to ``totals["work"]``.
+
+    ``wall_s`` defaults to the summed wall time of the top-level phases.
+    """
+    cost_list = [costs] if isinstance(costs, CostModel) else list(costs)
+    merged = PhaseNode("total")
+    total_work = 0
+    total_span = 0
+    for cost in cost_list:
+        merged.merge(cost.phases)
+        total_work += cost.work
+        total_span += cost.span
+
+    phase_dicts = [c.to_dict() for c in merged.children.values()]
+    tracked_work = sum(c.work for c in merged.children.values())
+    tracked_span = sum(c.span for c in merged.children.values())
+    if total_work - tracked_work or total_span - tracked_span:
+        stray = PhaseNode(UNTRACKED)
+        stray.work = total_work - tracked_work
+        stray.span = total_span - tracked_span
+        phase_dicts.append(stray.to_dict())
+
+    if wall_s is None:
+        wall_s = sum(c.wall for c in merged.children.values())
+    return BenchmarkRecord(
+        name=name,
+        params=dict(params or {}),
+        phases=phase_dicts,
+        totals={"work": total_work, "span": total_span, "wall_s": wall_s},
+        metrics=dict(metrics or {}),
+        extra=dict(extra or {}),
+        git_rev=git_revision(),
+        created=time.time(),
+    )
+
+
+def write_record(record: BenchmarkRecord, path: str | pathlib.Path) -> pathlib.Path:
+    """Write one record as pretty-printed JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record.to_dict(), indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def read_record(path: str | pathlib.Path) -> BenchmarkRecord:
+    """Load a record written by :func:`write_record` (or a JSONL line)."""
+    text = pathlib.Path(path).read_text()
+    return BenchmarkRecord.from_dict(json.loads(text))
+
+
+def append_jsonl(record: BenchmarkRecord, path: str | pathlib.Path) -> pathlib.Path:
+    """Append one record as a single JSONL line (perf-trajectory logs)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as f:
+        f.write(json.dumps(record.to_dict(), sort_keys=False) + "\n")
+    return path
+
+
+def read_jsonl(path: str | pathlib.Path) -> list[BenchmarkRecord]:
+    """Load every record from a JSONL file written by :func:`append_jsonl`."""
+    out = []
+    for line in pathlib.Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            out.append(BenchmarkRecord.from_dict(json.loads(line)))
+    return out

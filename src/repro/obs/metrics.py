@@ -1,0 +1,223 @@
+"""Process-wide metrics: counters, gauges, histograms, and a registry.
+
+Instrumented code asks the registry for a named instrument and updates it::
+
+    from repro.obs import get_metrics
+
+    get_metrics().counter("semisort.calls").inc()
+    get_metrics().histogram("batch_msf.batch_size").observe(len(batch))
+
+Instruments are created on first use and accumulate for the life of the
+process (or until :meth:`MetricsRegistry.reset`).  When the registry is
+disabled -- :func:`set_metrics_enabled(False) <set_metrics_enabled>` -- every
+lookup returns a shared *null* instrument whose update methods are empty:
+no allocation, no dict growth, no arithmetic.  That makes leaving metric
+calls in hot paths safe.
+
+Granularity convention: instruments are updated once per *batch operation*
+(a ``batch_insert``, one semisort, one contraction pass), never once per
+element -- the per-element story belongs to the
+:class:`~repro.runtime.cost.CostModel`.
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """A monotonically increasing count (events, elements, calls)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1) to the counter."""
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (sizes, levels, current window width)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with the latest observation."""
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """A streaming distribution summary: count, sum, min, max, mean.
+
+    Deliberately O(1) space -- no reservoir -- so it can sit on hot paths.
+    ``summary()`` returns the JSON-ready aggregate.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """The aggregate as a plain dict (empty histogram -> zeros)."""
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.3g})"
+
+
+class _NullCounter(Counter):
+    """Shared do-nothing counter returned by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    """Shared do-nothing gauge returned by a disabled registry."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    """Shared do-nothing histogram returned by a disabled registry."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter("<null>")
+NULL_GAUGE = _NullGauge("<null>")
+NULL_HISTOGRAM = _NullHistogram("<null>")
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    Args:
+        enabled: when False, every lookup returns the shared null
+            instrument of the right type and nothing is ever recorded.
+            Can be flipped at runtime via :attr:`enabled`; instruments
+            created while enabled keep their values across a disable /
+            re-enable cycle.
+    """
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_histograms")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (null instrument when disabled)."""
+        if not self.enabled:
+            return NULL_COUNTER
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (null instrument when disabled)."""
+        if not self.enabled:
+            return NULL_GAUGE
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (null instrument when disabled)."""
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot of every instrument, sorted by name."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: h.summary() for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (names and values)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+_registry = MetricsRegistry(enabled=True)
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry the library's hot paths report to."""
+    return _registry
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap in a different process-wide registry; returns the old one."""
+    global _registry
+    old = _registry
+    _registry = registry
+    return old
+
+
+def set_metrics_enabled(enabled: bool) -> bool:
+    """Toggle the process-wide registry; returns the previous state."""
+    prev = _registry.enabled
+    _registry.enabled = enabled
+    return prev

@@ -1,0 +1,78 @@
+"""Render phase trees as aligned text tables (the ``--trace`` view).
+
+The renderer accepts either a live :class:`~repro.runtime.cost.PhaseNode`
+(e.g. ``cost.phases``) or a loaded
+:class:`~repro.obs.export.BenchmarkRecord`, and prints one row per phase
+with tree indentation, work (absolute and as a share of the total), span,
+wall time, entry count and item count.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.obs.export import BenchmarkRecord
+from repro.runtime.cost import PhaseNode
+
+
+def _fmt_wall(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def render_phase_table(
+    source: PhaseNode | BenchmarkRecord, title: str | None = None
+) -> str:
+    """An aligned table of the phase tree, one row per phase.
+
+    ``%work`` is relative to the total work (the root's work if nonzero,
+    else the sum of the top-level phases), so nested phases show their
+    share of the whole run, not of their parent.
+    """
+    if isinstance(source, BenchmarkRecord):
+        root = source.phase_tree()
+        if title is None:
+            rev = f" @ {source.git_rev}" if source.git_rev else ""
+            title = f"phase trace: {source.name}{rev}"
+    else:
+        root = source
+        if title is None:
+            title = "phase trace"
+
+    top = list(root.children.values())
+    total_work = root.work if root.work else sum(c.work for c in top)
+    total_span = root.span if root.span else sum(c.span for c in top)
+    total_wall = root.wall if root.wall else sum(c.wall for c in top)
+
+    rows = []
+    for depth, node in root.walk():
+        if depth == 0:
+            continue  # the root is the summary line below the table
+        share = 100.0 * node.work / total_work if total_work else 0.0
+        rows.append(
+            [
+                "  " * (depth - 1) + node.name,
+                node.work,
+                f"{share:.1f}%",
+                node.span,
+                _fmt_wall(node.wall),
+                node.calls,
+                node.items if node.items else "",
+            ]
+        )
+    rows.append(
+        [
+            "total",
+            total_work,
+            "100.0%" if total_work else "",
+            total_span,
+            _fmt_wall(total_wall),
+            "",
+            "",
+        ]
+    )
+    return format_table(
+        ["phase", "work", "%work", "span", "wall", "calls", "items"],
+        rows,
+        title=title,
+    )

@@ -15,12 +15,16 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs.metrics import get_metrics
 from repro.runtime.cost import CostModel, log2ceil
 
 
 def _charge_semisort(n: int, cost: CostModel | None) -> None:
     if cost is not None and n > 0:
         cost.add(work=n, span=log2ceil(max(n, 2)))
+    m = get_metrics()
+    m.counter("semisort.calls").inc()
+    m.counter("semisort.items").inc(n)
 
 
 def semisort_pairs(

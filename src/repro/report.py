@@ -3,10 +3,15 @@
 ``python -m repro.report`` collects every table in ``bench_results/`` (as
 written by ``pytest benchmarks/ --benchmark-only``) into a single
 ``REPORT.md`` next to it -- the regenerable companion to EXPERIMENTS.md.
+Benchmarks also emit machine-readable ``bench_results/*.json`` records
+(see ``docs/observability.md``); the report summarises them, and
+``python -m repro.report --trace <record.json>`` renders one record's
+phase tree as an aligned table.
 """
 
 from __future__ import annotations
 
+import argparse
 import pathlib
 import sys
 
@@ -49,6 +54,41 @@ _SECTIONS = [
 ]
 
 
+def _records_section(results_dir: pathlib.Path) -> list[str]:
+    """A summary table of the structured JSON benchmark records."""
+    from repro.analysis.tables import format_table
+    from repro.obs.export import read_record
+
+    paths = sorted(results_dir.glob("*.json"))
+    if not paths:
+        return []
+    rows = []
+    for path in paths:
+        try:
+            rec = read_record(path)
+        except (ValueError, KeyError):
+            continue  # not a benchmark record
+        rows.append(
+            [
+                rec.name,
+                rec.totals.get("work", ""),
+                rec.totals.get("span", ""),
+                f"{rec.totals.get('wall_s', 0.0):.3f}",
+                len(rec.phases),
+                rec.git_rev or "?",
+            ]
+        )
+    if not rows:
+        return []
+    table = format_table(
+        ["record", "work", "span", "wall_s", "phases", "rev"],
+        rows,
+        title="Structured records (render one with `python -m repro.report "
+        "--trace bench_results/<name>.json`)",
+    )
+    return ["", "## Structured records", "", "```", table, "```"]
+
+
 def build_report(results_dir: pathlib.Path) -> str:
     """Assemble the markdown report from the tables in ``results_dir``."""
     lines = [
@@ -73,13 +113,62 @@ def build_report(results_dir: pathlib.Path) -> str:
         lines += ["", "## Other results"]
         for name in extras:
             lines += ["", "```", (results_dir / f"{name}.txt").read_text().rstrip(), "```"]
+    lines += _records_section(results_dir)
     return "\n".join(lines) + "\n"
 
 
+def render_trace(paths: list[pathlib.Path]) -> int:
+    """Print the phase-tree table of each benchmark record in ``paths``."""
+    from repro.obs.export import read_record
+    from repro.obs.trace import render_phase_table
+
+    status = 0
+    for i, path in enumerate(paths):
+        if not path.exists():
+            print(f"no such record: {path}", file=sys.stderr)
+            status = 1
+            continue
+        try:
+            rec = read_record(path)
+        except (ValueError, KeyError) as exc:
+            print(f"{path} is not a benchmark record: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        if i:
+            print()
+        print(render_phase_table(rec))
+        if rec.params:
+            params = ", ".join(f"{k}={v}" for k, v in sorted(rec.params.items()))
+            print(f"params: {params}")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point: write ``REPORT.md`` into the results directory."""
-    argv = sys.argv[1:] if argv is None else argv
-    results = pathlib.Path(argv[0]) if argv else pathlib.Path("bench_results")
+    """CLI entry point: write ``REPORT.md``, or render traces with --trace."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.report",
+        description="Aggregate bench_results/ into REPORT.md, or render the "
+        "phase trace of structured benchmark records.",
+    )
+    parser.add_argument(
+        "--trace",
+        nargs="+",
+        metavar="RECORD.json",
+        help="render the phase tree of one or more benchmark records "
+        "instead of building REPORT.md",
+    )
+    parser.add_argument(
+        "results",
+        nargs="?",
+        default="bench_results",
+        help="results directory (default: bench_results)",
+    )
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+
+    if args.trace:
+        return render_trace([pathlib.Path(p) for p in args.trace])
+
+    results = pathlib.Path(args.results)
     if not results.is_dir():
         print(
             f"no {results}/ directory -- run `pytest benchmarks/ --benchmark-only` first",

@@ -9,7 +9,7 @@ that the algorithm *would* incur on a PRAM.  Benchmarks then validate the
 paper's bounds in exactly the quantities the theorems are stated in.
 """
 
-from repro.runtime.cost import Cost, CostModel, measure, parallel_regions
+from repro.runtime.cost import Cost, CostModel, PhaseNode, measure, parallel_regions
 from repro.runtime.hashing import HashBits, splitmix64
 from repro.runtime.scheduler import (
     Scheduler,
@@ -22,6 +22,7 @@ from repro.runtime.scheduler import (
 __all__ = [
     "Cost",
     "CostModel",
+    "PhaseNode",
     "measure",
     "parallel_regions",
     "HashBits",

@@ -6,11 +6,25 @@ composition adds work but takes the maximum span of its branches.  Algorithms
 charge costs at the granularity the paper analyses them: one unit per vertex
 or edge touched, one round of span per level-synchronous step, ``lg n`` span
 per scan/sort primitive.
+
+Beyond the two counters, a :class:`CostModel` can attribute its charges to
+hierarchical **phase spans** (:meth:`CostModel.phase`): named, nestable
+regions that record the work, span, wall time, entry count and item count
+of everything charged while they are open.  Algorithm 2's four stages
+(semisort -> CPT build -> MSF kernel -> forest splice) are instrumented this
+way, so a benchmark can report *where* the ``O(l lg(1 + n/l))`` work went --
+see ``docs/observability.md``.
+
+Terminology note: a *phase span* is a tracing span (a region of execution);
+the ``span`` field inside it is the PRAM critical-path length.  The two
+uses of the word are both standard and always disambiguated by context
+here ("phase" vs. "span" alone).
 """
 
 from __future__ import annotations
 
 import math
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
@@ -18,7 +32,19 @@ from typing import Iterator
 
 @dataclass(frozen=True)
 class Cost:
-    """An immutable (work, span) pair, e.g. the cost of one operation."""
+    """An immutable (work, span) pair, e.g. the cost of one operation.
+
+    Examples:
+        Sequential composition adds both components; parallel composition
+        adds work and takes the maximum span:
+
+        >>> Cost(3, 2) + Cost(5, 7)
+        Cost(work=8, span=9)
+        >>> Cost(3, 2) | Cost(5, 7)
+        Cost(work=8, span=7)
+        >>> Cost(3, 2) + Cost.zero() == Cost(3, 2)
+        True
+    """
 
     work: int
     span: int
@@ -38,10 +64,127 @@ class Cost:
 
 
 def log2ceil(x: float) -> int:
-    """``ceil(lg x)`` clamped below at 1; the span of an x-way primitive."""
+    """``ceil(lg x)`` clamped below at 1; the span of an x-way primitive.
+
+    >>> [log2ceil(x) for x in (1, 2, 3, 4, 1024, 1025)]
+    [1, 1, 2, 2, 10, 11]
+    """
     if x <= 2:
         return 1
     return int(math.ceil(math.log2(x)))
+
+
+class PhaseNode:
+    """One node of a :class:`CostModel`'s phase tree.
+
+    A phase accumulates over *every* entry with the same name at the same
+    nesting position -- re-entering ``cost.phase("cpt-build")`` under the
+    same parent merges into one node with ``calls == 2``.  Recorded per
+    node:
+
+    - ``work`` / ``span``: the cost-model units charged while the phase was
+      open, **inclusive** of nested child phases;
+    - ``wall``: wall-clock seconds spent inside (inclusive);
+    - ``calls``: how many times the phase was entered;
+    - ``items``: caller-supplied element count (batch sizes, edges touched);
+    - ``children``: nested phases, in first-entry order.
+
+    ``self_work`` / ``self_span`` subtract the children's (inclusive)
+    totals, giving the exclusive cost of the node's own code.
+    """
+
+    __slots__ = ("name", "work", "span", "wall", "calls", "items", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.work = 0
+        self.span = 0
+        self.wall = 0.0
+        self.calls = 0
+        self.items = 0
+        self.children: dict[str, "PhaseNode"] = {}
+
+    # -- structure -----------------------------------------------------
+
+    def child(self, name: str) -> "PhaseNode":
+        """The child phase called ``name``, created on first use."""
+        node = self.children.get(name)
+        if node is None:
+            node = PhaseNode(name)
+            self.children[name] = node
+        return node
+
+    def count(self, items: int) -> None:
+        """Add ``items`` processed elements to this phase's tally."""
+        self.items += items
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "PhaseNode"]]:
+        """Yield ``(depth, node)`` over the subtree in pre-order."""
+        yield (depth, self)
+        for c in self.children.values():
+            yield from c.walk(depth + 1)
+
+    # -- derived values ------------------------------------------------
+
+    @property
+    def self_work(self) -> int:
+        """Work charged in this phase but not in any child phase."""
+        return self.work - sum(c.work for c in self.children.values())
+
+    @property
+    def self_span(self) -> int:
+        """Span charged in this phase but not in any child phase."""
+        return self.span - sum(c.span for c in self.children.values())
+
+    # -- aggregation / serialization ------------------------------------
+
+    def merge(self, other: "PhaseNode") -> None:
+        """Accumulate ``other``'s subtree into this node (names must match).
+
+        Used to aggregate phase trees across several :class:`CostModel`
+        instances (e.g. one per benchmark configuration) into one record.
+        """
+        if other.name != self.name:
+            raise ValueError(f"cannot merge phase {other.name!r} into {self.name!r}")
+        self.work += other.work
+        self.span += other.span
+        self.wall += other.wall
+        self.calls += other.calls
+        self.items += other.items
+        for name, child in other.children.items():
+            self.child(name).merge(child)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-ready); inverse of :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "work": self.work,
+            "span": self.span,
+            "wall_s": self.wall,
+            "calls": self.calls,
+            "items": self.items,
+            "children": [c.to_dict() for c in self.children.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PhaseNode":
+        """Rebuild a phase tree from :meth:`to_dict` output."""
+        node = cls(d["name"])
+        node.work = int(d.get("work", 0))
+        node.span = int(d.get("span", 0))
+        node.wall = float(d.get("wall_s", 0.0))
+        node.calls = int(d.get("calls", 0))
+        node.items = int(d.get("items", 0))
+        for c in d.get("children", ()):
+            child = cls.from_dict(c)
+            node.children[child.name] = child
+        return node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PhaseNode({self.name!r}, work={self.work}, span={self.span}, "
+            f"calls={self.calls}, children={len(self.children)})"
+        )
 
 
 class CostModel:
@@ -57,14 +200,58 @@ class CostModel:
     Inside a ``parallel`` block each ``branch`` accumulates into its own
     sub-counter; on exit the block contributes the sum of branch work and the
     maximum branch span to the enclosing scope.
+
+    Examples:
+        Basic sequential charging:
+
+        >>> cost = CostModel()
+        >>> cost.add(work=10, span=3)
+        >>> cost.bulk(1024)             # one 1024-way primitive
+        >>> (cost.work, cost.span)
+        (1034, 13)
+
+        Parallel blocks follow the sum-work / max-span rule:
+
+        >>> cost = CostModel()
+        >>> with cost.parallel() as fork:
+        ...     with fork.branch() as b1:
+        ...         b1.add(work=10, span=4)
+        ...     with fork.branch() as b2:
+        ...         b2.add(work=20, span=9)
+        >>> (cost.work, cost.span)
+        (30, 9)
+
+        Phase spans attribute charges to named, nestable regions without
+        changing the totals:
+
+        >>> cost = CostModel()
+        >>> with cost.phase("build", items=100):
+        ...     cost.add(work=70, span=5)
+        ...     with cost.phase("inner"):
+        ...         cost.add(work=30, span=2)
+        >>> build = cost.phases.children["build"]
+        >>> (build.work, build.self_work, build.children["inner"].work)
+        (100, 70, 30)
+        >>> (cost.work, cost.span)
+        (100, 7)
+
+        A disabled model ignores work/span charges entirely (phases still
+        track wall time and call counts):
+
+        >>> off = CostModel(enabled=False)
+        >>> off.add(work=10, span=3)
+        >>> (off.work, off.span)
+        (0, 0)
     """
 
-    __slots__ = ("work", "span", "enabled")
+    __slots__ = ("work", "span", "enabled", "_phase_root", "_phase_stack")
 
     def __init__(self, enabled: bool = True) -> None:
         self.work = 0
         self.span = 0
         self.enabled = enabled
+        self._phase_root: PhaseNode | None = None
+        self._phase_stack: list[PhaseNode] | None = None
 
     def add(self, work: int = 0, span: int = 0) -> None:
         """Charge ``work`` units and ``span`` rounds sequentially."""
@@ -93,13 +280,76 @@ class CostModel:
         return Cost(self.work - snap.work, self.span - snap.span)
 
     def reset(self) -> None:
-        """Zero both counters."""
+        """Zero both counters and drop any recorded phases."""
         self.work = 0
         self.span = 0
+        self._phase_root = None
+        self._phase_stack = None
+
+    # -- phase spans ---------------------------------------------------
+
+    @property
+    def phases(self) -> PhaseNode:
+        """The root of the phase tree (an empty node before any phase).
+
+        The root itself carries no charges; the interesting data is in
+        ``phases.children`` -- the top-level phases.  Work charged while no
+        phase is open appears in no child, so
+        ``cost.work - sum(c.work for c in cost.phases.children.values())``
+        is the *untracked* remainder (see :meth:`untracked_work`).
+        """
+        if self._phase_root is None:
+            self._phase_root = PhaseNode("total")
+        return self._phase_root
+
+    def untracked_work(self) -> int:
+        """Work charged outside every top-level phase."""
+        if self._phase_root is None:
+            return self.work
+        return self.work - sum(
+            c.work for c in self._phase_root.children.values()
+        )
+
+    @contextmanager
+    def phase(self, name: str, items: int = 0) -> Iterator[PhaseNode]:
+        """Open a named phase span; charges inside are attributed to it.
+
+        Phases nest: a phase opened while another is open becomes (or merges
+        into) a child of the open one.  Re-entering a name accumulates into
+        the existing node.  The yielded :class:`PhaseNode` can tally
+        elements via :meth:`PhaseNode.count` when the count is only known
+        mid-phase.  Recursive re-entry of the *same* node (a phase nested
+        directly inside itself) would double-charge and is not supported;
+        instrument at the outermost call site instead.
+        """
+        root = self.phases
+        if self._phase_stack is None:
+            self._phase_stack = []
+        parent = self._phase_stack[-1] if self._phase_stack else root
+        node = parent.child(name)
+        self._phase_stack.append(node)
+        w0, s0 = self.work, self.span
+        t0 = time.perf_counter()
+        try:
+            yield node
+        finally:
+            node.wall += time.perf_counter() - t0
+            node.work += self.work - w0
+            node.span += self.span - s0
+            node.calls += 1
+            node.items += items
+            self._phase_stack.pop()
 
     @contextmanager
     def parallel(self) -> Iterator["_ParallelBlock"]:
-        """Open a parallel block: branches compose as sum-work/max-span."""
+        """Open a parallel block: branches compose as sum-work/max-span.
+
+        Each :meth:`_ParallelBlock.branch` yields a fresh sub-
+        :class:`CostModel`; on block exit the parent is charged the sum of
+        branch work and the maximum branch span.  Phases recorded inside a
+        branch belong to the branch's private sub-model and are discarded
+        with it -- instrument phases on the shared parent model instead.
+        """
         block = _ParallelBlock(self)
         yield block
         block._commit()
@@ -136,7 +386,15 @@ class _ParallelBlock:
 
 @contextmanager
 def measure(cost: CostModel) -> Iterator["Measurement"]:
-    """Measure the (work, span) delta of a block against ``cost``."""
+    """Measure the (work, span) delta of a block against ``cost``.
+
+    >>> cost = CostModel()
+    >>> cost.add(work=100, span=10)
+    >>> with measure(cost) as m:
+    ...     cost.add(work=7, span=3)
+    >>> m.cost()
+    Cost(work=7, span=3)
+    """
     m = Measurement()
     snap = cost.snapshot()
     yield m
@@ -174,6 +432,15 @@ def parallel_regions(parent: CostModel, regions) -> list:
     are analysed under.
 
     Returns the thunks' results in order.
+
+    >>> parent, a, b = CostModel(), CostModel(), CostModel()
+    >>> parallel_regions(parent, [
+    ...     (a, lambda: a.add(work=10, span=4)),
+    ...     (b, lambda: b.add(work=5, span=9)),
+    ... ])
+    [None, None]
+    >>> (parent.work, parent.span)
+    (15, 9)
     """
     regions = list(regions)
     snaps = [model.snapshot() for model, _ in regions]

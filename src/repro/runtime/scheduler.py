@@ -5,6 +5,25 @@ default :class:`SequentialScheduler` is usually fastest under the GIL.  A
 :class:`ThreadPoolScheduler` is provided for coarse-grained stages that
 release the GIL (large numpy kernels) or do I/O; it demonstrates how the
 algorithms map onto real workers without changing any algorithm code.
+
+Schedulers are about *execution*; they are deliberately independent of the
+:class:`~repro.runtime.cost.CostModel`, which simulates the PRAM the paper's
+bounds are stated on.  Swapping a scheduler never changes measured work or
+span -- only wall-clock.
+
+Examples:
+    >>> s = SequentialScheduler()
+    >>> s.map(lambda x: x * x, range(5))
+    [0, 1, 4, 9, 16]
+    >>> s.starmap(lambda a, b: a - b, [(5, 2), (9, 4)])
+    [3, 5]
+
+    Schedulers are context managers; the pool variant shuts down its
+    workers on exit:
+
+    >>> with ThreadPoolScheduler(max_workers=2) as pool:
+    ...     pool.map(lambda x: x + 1, [1, 2, 3])
+    [2, 3, 4]
 """
 
 from __future__ import annotations
@@ -14,7 +33,13 @@ from typing import Any, Callable, Iterable, Sequence
 
 
 class Scheduler:
-    """Interface: apply a function over items, conceptually in parallel."""
+    """Interface: apply a function over items, conceptually in parallel.
+
+    Implementations must preserve input order in the returned list and
+    propagate the first exception raised by ``fn``.  They are reusable
+    across calls and usable as context managers (:meth:`close` runs on
+    exit).
+    """
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
         """Apply ``fn`` to every item, conceptually in parallel."""
@@ -67,12 +92,20 @@ _default: Scheduler = SequentialScheduler()
 
 
 def get_default_scheduler() -> Scheduler:
-    """The process-wide default scheduler."""
+    """The process-wide default scheduler.
+
+    >>> isinstance(get_default_scheduler(), Scheduler)
+    True
+    """
     return _default
 
 
 def set_default_scheduler(scheduler: Scheduler) -> Scheduler:
-    """Install ``scheduler`` as the process-wide default; returns the old one."""
+    """Install ``scheduler`` as the process-wide default; returns the old one.
+
+    >>> prev = set_default_scheduler(SequentialScheduler())
+    >>> _ = set_default_scheduler(prev)   # restore
+    """
     global _default
     old = _default
     _default = scheduler

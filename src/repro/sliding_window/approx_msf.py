@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from repro.obs.metrics import get_metrics
 from repro.runtime.cost import CostModel, log2ceil, parallel_regions
 from repro.sliding_window.base import WindowClock
 from repro.sliding_window.connectivity import SWConnectivityEager
@@ -90,24 +91,27 @@ class SWApproxMSFWeight:
             if sub:
                 level.batch_insert([e for e, _ in sub], taus=[t for _, t in sub])
 
-        parallel_regions(
-            self.cost,
-            [
-                (self._level_costs[i], (lambda i=i, lvl=lvl: insert_into(i, lvl)))
-                for i, lvl in enumerate(self._levels)
-            ],
-        )
+        with self.cost.phase("window-insert", items=len(edges)):
+            parallel_regions(
+                self.cost,
+                [
+                    (self._level_costs[i], (lambda i=i, lvl=lvl: insert_into(i, lvl)))
+                    for i, lvl in enumerate(self._levels)
+                ],
+            )
+        get_metrics().counter("sw_approx_msf.inserted").inc(len(edges))
 
     def batch_expire(self, delta: int) -> None:
         """Expire the ``delta`` oldest stream items at every level."""
         tw = self.clock.expire(delta)
-        parallel_regions(
-            self.cost,
-            [
-                (self._level_costs[i], (lambda lvl=lvl: lvl.expire_until(tw)))
-                for i, lvl in enumerate(self._levels)
-            ],
-        )
+        with self.cost.phase("window-expire", items=delta):
+            parallel_regions(
+                self.cost,
+                [
+                    (self._level_costs[i], (lambda lvl=lvl: lvl.expire_until(tw)))
+                    for i, lvl in enumerate(self._levels)
+                ],
+            )
 
     def weight(self) -> float:
         """(1 + eps)-approximate window MSF weight; O(R) work, O(lg R) span.
@@ -116,7 +120,10 @@ class SWApproxMSFWeight:
         recomputes it at the end of each update; exposing it as a query is
         equivalent and keeps updates cheaper when no one is looking).
         """
-        self.cost.add(work=self.num_levels, span=log2ceil(max(self.num_levels, 2)))
+        with self.cost.phase("window-query"):
+            self.cost.add(
+                work=self.num_levels, span=log2ceil(max(self.num_levels, 2))
+            )
         cc = [lvl.num_components for lvl in self._levels]
         total = float(self.n - cc[0])
         for i in range(1, self.num_levels):

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.obs.metrics import get_metrics
 from repro.runtime.cost import CostModel, parallel_regions
 from repro.sliding_window.base import WindowClock
 from repro.sliding_window.connectivity import SWConnectivityEager
@@ -41,30 +42,33 @@ class SWBipartiteness:
         """Insert edges into the window graph and its double cover."""
         if not edges:
             return
-        self.clock.assign(len(edges))
-        cover_edges = []
-        for u, v in edges:
-            cover_edges.append((u, self.n + v))
-            cover_edges.append((self.n + u, v))
-        parallel_regions(
-            self.cost,
-            [
-                (self._g_cost, lambda: self._g.batch_insert(edges)),
-                (self._cover_cost, lambda: self._cover.batch_insert(cover_edges)),
-            ],
-        )
+        with self.cost.phase("window-insert", items=len(edges)):
+            self.clock.assign(len(edges))
+            cover_edges = []
+            for u, v in edges:
+                cover_edges.append((u, self.n + v))
+                cover_edges.append((self.n + u, v))
+            parallel_regions(
+                self.cost,
+                [
+                    (self._g_cost, lambda: self._g.batch_insert(edges)),
+                    (self._cover_cost, lambda: self._cover.batch_insert(cover_edges)),
+                ],
+            )
+        get_metrics().counter("sw_bipartiteness.inserted").inc(len(edges))
 
     def batch_expire(self, delta: int) -> None:
         """Expire the ``delta`` oldest arrivals (2 delta cover edges)."""
-        self.clock.expire(delta)
-        parallel_regions(
-            self.cost,
-            [
-                (self._g_cost, lambda: self._g.batch_expire(delta)),
-                # Two cover edges per arrival.
-                (self._cover_cost, lambda: self._cover.batch_expire(2 * delta)),
-            ],
-        )
+        with self.cost.phase("window-expire", items=delta):
+            self.clock.expire(delta)
+            parallel_regions(
+                self.cost,
+                [
+                    (self._g_cost, lambda: self._g.batch_expire(delta)),
+                    # Two cover edges per arrival.
+                    (self._cover_cost, lambda: self._cover.batch_expire(2 * delta)),
+                ],
+            )
 
     def is_bipartite(self) -> bool:
         """O(1): the window graph is bipartite iff its double cover has

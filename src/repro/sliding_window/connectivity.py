@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.batch_msf import BatchIncrementalMSF
+from repro.obs.metrics import get_metrics
 from repro.orderedset.treap import Treap
 from repro.runtime.cost import CostModel
 from repro.sliding_window.base import WindowClock
@@ -55,12 +56,15 @@ class SWConnectivity:
                 raise ValueError("explicit taus must be increasing and fresh")
             if len(taus):
                 self.clock.t = taus[-1] + 1
-        rows = [(u, v, -float(tau), tau) for (u, v), tau in zip(edges, taus)]
-        self._msf.batch_insert(rows)
+        with self.cost.phase("window-insert", items=len(edges)):
+            rows = [(u, v, -float(tau), tau) for (u, v), tau in zip(edges, taus)]
+            self._msf.batch_insert(rows)
+        get_metrics().counter("sw_connectivity.inserted").inc(len(edges))
 
     def batch_expire(self, delta: int) -> None:
         """Expire the ``delta`` oldest stream items; O(1)."""
-        self.clock.expire(delta)
+        with self.cost.phase("window-expire", items=delta):
+            self.clock.expire(delta)
 
     def expire_until(self, tau: int) -> None:
         """Advance the window start to global position ``tau`` (for
@@ -115,10 +119,12 @@ class SWConnectivityEager(SWConnectivity):
                 raise ValueError("explicit taus must be increasing and fresh")
             if len(taus):
                 self.clock.t = taus[-1] + 1
-        rows = [(u, v, -float(tau), tau) for (u, v), tau in zip(edges, taus)]
-        report = self._msf.batch_insert(rows)
-        self._d.insert_many((eid, (u, v)) for u, v, _, eid in report.inserted)
-        self._d.delete_many(eid for _, _, _, eid in report.evicted)
+        with self.cost.phase("window-insert", items=len(edges)):
+            rows = [(u, v, -float(tau), tau) for (u, v), tau in zip(edges, taus)]
+            report = self._msf.batch_insert(rows)
+            self._d.insert_many((eid, (u, v)) for u, v, _, eid in report.inserted)
+            self._d.delete_many(eid for _, _, _, eid in report.evicted)
+        get_metrics().counter("sw_connectivity.inserted").inc(len(edges))
 
     def batch_expire(self, delta: int) -> None:
         """Expire ``delta`` oldest items; ``O(delta lg(1 + n/delta) + lg n)``
@@ -127,10 +133,13 @@ class SWConnectivityEager(SWConnectivity):
 
     def expire_until(self, tau: int) -> None:
         """Advance to ``tau`` and physically cut the expired MSF edges."""
-        tau = self.clock.expire_until(tau)
-        expired = self._d.split_at(tau)
-        if len(expired):
-            self._msf.forget_edges([eid for eid, _ in expired.items()])
+        with self.cost.phase("window-expire") as ph:
+            tau = self.clock.expire_until(tau)
+            expired = self._d.split_at(tau)
+            ph.count(len(expired))
+            if len(expired):
+                self._msf.forget_edges([eid for eid, _ in expired.items()])
+        get_metrics().counter("sw_connectivity.expired").inc(len(expired))
 
     def is_connected(self, u: int, v: int) -> bool:
         """O(lg n) w.h.p.; the forest holds only unexpired edges."""

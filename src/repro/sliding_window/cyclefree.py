@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.obs.metrics import get_metrics
 from repro.runtime.cost import CostModel
 from repro.sliding_window.base import WindowClock
 from repro.sliding_window.kcertificate import SWKCertificate
@@ -46,13 +47,20 @@ class SWCycleFree:
                 keep_edges.append((u, v))
                 keep_taus.append(tau)
         if keep_edges:
-            self._cert.batch_insert(keep_edges, taus=keep_taus)
+            # The inner certificate shares this cost model, so its own
+            # window-insert phase nests under (and is included in) this one.
+            with self.cost.phase("window-insert", items=len(edges)):
+                self._cert.batch_insert(keep_edges, taus=keep_taus)
+        get_metrics().counter("sw_cyclefree.self_loops").inc(
+            len(edges) - len(keep_edges)
+        )
 
     def batch_expire(self, delta: int) -> None:
         """Expire the ``delta`` oldest items (loops included)."""
         tw = self.clock.expire(delta)
-        self._cert.expire_until(tw)
-        self._loop_taus = [t for t in self._loop_taus if t >= tw]
+        with self.cost.phase("window-expire", items=delta):
+            self._cert.expire_until(tw)
+            self._loop_taus = [t for t in self._loop_taus if t >= tw]
 
     def has_cycle(self) -> bool:
         """O(1): the second forest is non-empty iff a cycle is in-window."""

@@ -16,6 +16,7 @@ from typing import Sequence
 
 from repro.core.batch_msf import BatchIncrementalMSF
 from repro.mincut.stoer_wagner import global_min_cut
+from repro.obs.metrics import get_metrics
 from repro.orderedset.treap import Treap
 from repro.runtime.cost import CostModel
 from repro.sliding_window.base import WindowClock
@@ -62,16 +63,22 @@ class SWKCertificate:
         cascade = [
             (u, v, -float(tau), tau) for (u, v), tau in zip(edges, taus) if u != v
         ]
-        for forest, d in zip(self._forests, self._d):
-            if not cascade:
-                break
-            report = forest.batch_insert(cascade)
-            d.insert_many((eid, (u, v)) for u, v, _, eid in report.inserted)
-            d.delete_many(eid for _, _, _, eid in report.evicted)
-            # Replaced edges (evicted + rejected) move to the next forest;
-            # their ids are reusable there because each forest has its own
-            # id space.
-            cascade = report.replaced
+        depth = 0
+        with self.cost.phase("window-insert", items=len(cascade)):
+            for forest, d in zip(self._forests, self._d):
+                if not cascade:
+                    break
+                depth += 1
+                report = forest.batch_insert(cascade)
+                d.insert_many((eid, (u, v)) for u, v, _, eid in report.inserted)
+                d.delete_many(eid for _, _, _, eid in report.evicted)
+                # Replaced edges (evicted + rejected) move to the next forest;
+                # their ids are reusable there because each forest has its own
+                # id space.
+                cascade = report.replaced
+        metrics = get_metrics()
+        metrics.counter("sw_kcertificate.inserted").inc(len(edges))
+        metrics.histogram("sw_kcertificate.cascade_depth").observe(depth)
 
     def batch_expire(self, delta: int) -> None:
         """Expire the ``delta`` oldest items from every forest."""
@@ -79,11 +86,13 @@ class SWKCertificate:
 
     def expire_until(self, tau: int) -> None:
         """Advance to global ``tau``, cutting expired edges eagerly."""
-        tau = self.clock.expire_until(tau)
-        for forest, d in zip(self._forests, self._d):
-            expired = d.split_at(tau)
-            if len(expired):
-                forest.forget_edges([eid for eid, _ in expired.items()])
+        with self.cost.phase("window-expire") as ph:
+            tau = self.clock.expire_until(tau)
+            for forest, d in zip(self._forests, self._d):
+                expired = d.split_at(tau)
+                ph.count(len(expired))
+                if len(expired):
+                    forest.forget_edges([eid for eid, _ in expired.items()])
 
     # -- queries -----------------------------------------------------------
 

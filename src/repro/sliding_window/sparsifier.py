@@ -27,6 +27,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from repro.obs.metrics import get_metrics
 from repro.runtime.cost import CostModel, log2ceil, parallel_regions
 from repro.runtime.hashing import splitmix64
 from repro.sliding_window.base import WindowClock
@@ -150,7 +151,9 @@ class SWSparsifier:
             (self._cert_costs[i], (lambda i=i, c=c: insert_cert(i, c)))
             for i, c in enumerate(self._certs)
         ]
-        parallel_regions(self.cost, regions)
+        with self.cost.phase("window-insert", items=len(edges)):
+            parallel_regions(self.cost, regions)
+        get_metrics().counter("sw_sparsifier.inserted").inc(len(edges))
 
     def batch_expire(self, delta: int) -> None:
         """Expire the ``delta`` oldest arrivals everywhere."""
@@ -162,7 +165,8 @@ class SWSparsifier:
             (self._cert_costs[i], (lambda c=c: c.expire_until(tw)))
             for i, c in enumerate(self._certs)
         ]
-        parallel_regions(self.cost, regions)
+        with self.cost.phase("window-expire", items=delta):
+            parallel_regions(self.cost, regions)
 
     # -- queries -----------------------------------------------------------
 

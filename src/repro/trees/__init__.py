@@ -24,7 +24,7 @@ from repro.trees.cluster import ClusterNode, ClusterKind
 from repro.trees.ternary import TernaryForest
 from repro.trees.rcforest import RCForest
 from repro.trees.forest import DynamicForest
-from repro.trees.cpt import CompressedPathTree, compressed_path_trees
+from repro.trees.cpt import CompressedPathTree, PathAggregate, compressed_path_trees
 
 __all__ = [
     "ClusterNode",
@@ -33,5 +33,6 @@ __all__ = [
     "RCForest",
     "DynamicForest",
     "CompressedPathTree",
+    "PathAggregate",
     "compressed_path_trees",
 ]

@@ -151,30 +151,37 @@ def compressed_path_trees(
     charge = cost if cost is not None else CostModel(enabled=False)
 
     # Mark phase: early-stopping upward walks (Lemma 3.3 path sharing).
-    marked_clusters: set[int] = set()  # ids of ClusterNode objects
-    roots: list[ClusterNode] = []
-    touched = 0
-    for v in marked_set:
-        node: ClusterNode | None = rc.vleaf[v]
-        while node is not None and id(node) not in marked_clusters:
-            marked_clusters.add(id(node))
-            touched += 1
-            if node.parent is None:
-                roots.append(node)
-            node = node.parent
-    charge.add(work=touched + max(len(marked_set), 1), span=log2ceil(max(rc.num_vertices, 2)))
+    with charge.phase("cpt-mark") as ph:
+        marked_clusters: set[int] = set()  # ids of ClusterNode objects
+        roots: list[ClusterNode] = []
+        touched = 0
+        for v in marked_set:
+            node: ClusterNode | None = rc.vleaf[v]
+            while node is not None and id(node) not in marked_clusters:
+                marked_clusters.add(id(node))
+                touched += 1
+                if node.parent is None:
+                    roots.append(node)
+                node = node.parent
+        charge.add(
+            work=touched + max(len(marked_set), 1),
+            span=log2ceil(max(rc.num_vertices, 2)),
+        )
+        ph.count(touched)
 
-    builder = _GraphBuilder()
-    for v in marked_set:
-        builder.add_vertex(v)
+    with charge.phase("cpt-expand") as ph:
+        builder = _GraphBuilder()
+        for v in marked_set:
+            builder.add_vertex(v)
 
-    expand_count = 0
-    max_depth = 0
-    for root in roots:
-        d = _expand(rc, root, builder, marked_set, marked_clusters)
-        expand_count += d[0]
-        max_depth = max(max_depth, d[1])
-    charge.add(work=expand_count, span=max_depth + 1)
+        expand_count = 0
+        max_depth = 0
+        for root in roots:
+            d = _expand(rc, root, builder, marked_set, marked_clusters)
+            expand_count += d[0]
+            max_depth = max(max_depth, d[1])
+        charge.add(work=expand_count, span=max_depth + 1)
+        ph.count(expand_count)
 
     vertices = sorted(builder.adj)
     edges = []

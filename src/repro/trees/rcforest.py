@@ -235,6 +235,12 @@ class RCForest:
         """
         links = links or []
         cuts = cuts or []
+        with self.cost.phase("rc-propagate", items=len(links) + len(cuts)):
+            self._batch_update(links, cuts)
+
+    def _batch_update(
+        self, links: list[InternalLink], cuts: list[tuple[int, int, int]]
+    ) -> None:
         dirty: set[int] = set()
         adj0 = self._adj[0]
 

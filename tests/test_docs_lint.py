@@ -1,0 +1,70 @@
+"""Documentation health: import lint + runnable doctests.
+
+``scripts/check_docs.py`` fails when a ```python block in the markdown
+docs imports a ``repro`` module or symbol that no longer exists; running
+it here makes doc drift a test failure.  The doctest runners keep the
+examples in ``repro.runtime`` executable, not decorative.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_docs.py"
+
+
+def _load_check_docs():
+    spec = importlib.util.spec_from_file_location("check_docs", SCRIPT)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_docs_imports_resolve(capsys):
+    """Every repro import in docs/*.md, README.md, EXPERIMENTS.md resolves."""
+    mod = _load_check_docs()
+    assert mod.main([]) == 0, capsys.readouterr().err
+
+
+def test_lint_catches_missing_symbol(tmp_path):
+    mod = _load_check_docs()
+    bad = tmp_path / "bad.md"
+    bad.write_text(
+        "```python\nfrom repro.core import DefinitelyNotAThing\n```\n"
+    )
+    failures = mod.check_file(bad)
+    assert len(failures) == 1
+    assert "DefinitelyNotAThing" in failures[0]
+
+
+def test_lint_catches_missing_module(tmp_path):
+    mod = _load_check_docs()
+    bad = tmp_path / "bad.md"
+    bad.write_text("```python\nimport repro.does_not_exist\n```\n")
+    assert any("repro.does_not_exist" in f for f in mod.check_file(bad))
+
+
+def test_lint_ignores_non_python_and_fragments(tmp_path):
+    mod = _load_check_docs()
+    ok = tmp_path / "ok.md"
+    ok.write_text(
+        "```bash\npip install repro-not-real\n```\n"
+        "```python\nBatchIncrementalMSF(n, seed=..., cost=...)\n"
+        "from repro import *\n```\n"
+    )
+    assert mod.check_file(ok) == []
+
+
+@pytest.mark.parametrize("module", ["repro.runtime.cost", "repro.runtime.scheduler"])
+def test_runtime_doctests_pass(module):
+    """The docstring examples actually run and pass."""
+    mod = sys.modules.get(module) or __import__(module, fromlist=["_"])
+    results = doctest.testmod(mod, verbose=False)
+    assert results.attempted > 0, f"{module} lost its doctests"
+    assert results.failed == 0

@@ -1,0 +1,315 @@
+"""The observability layer: phase spans, metrics, benchmark records.
+
+Covers the invariants docs/observability.md promises: exact phase
+attribution (top-level phases + untracked = CostModel totals), truthful
+nesting and same-name merging, zero-cost disabled metrics, and lossless
+JSON round-trips of benchmark records.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import BatchIncrementalMSF
+from repro.obs import (
+    BenchmarkRecord,
+    Counter,
+    MetricsRegistry,
+    PhaseNode,
+    append_jsonl,
+    get_metrics,
+    read_record,
+    record_from_costs,
+    render_phase_table,
+    set_metrics,
+    set_metrics_enabled,
+    write_record,
+)
+from repro.obs.export import SCHEMA, UNTRACKED, read_jsonl
+from repro.obs.metrics import NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM
+from repro.runtime import CostModel
+
+
+# ---------------------------------------------------------------- phases
+
+
+def test_phase_records_work_span_calls_items():
+    cost = CostModel()
+    with cost.phase("a", items=10):
+        cost.add(work=100, span=5)
+    with cost.phase("a", items=7):
+        cost.add(work=50, span=2)
+    node = cost.phases.children["a"]
+    assert (node.work, node.span) == (150, 7)
+    assert node.calls == 2
+    assert node.items == 17
+    assert node.wall > 0.0
+
+
+def test_phase_nesting_inclusive_and_self():
+    cost = CostModel()
+    with cost.phase("outer"):
+        cost.add(work=5, span=1)
+        with cost.phase("inner"):
+            cost.add(work=20, span=3)
+        cost.add(work=2, span=1)
+    outer = cost.phases.children["outer"]
+    inner = outer.children["inner"]
+    assert outer.work == 27  # inclusive of the nested phase
+    assert inner.work == 20
+    assert outer.self_work == 7
+    assert outer.self_span == outer.span - inner.span
+    # Same name under different parents -> different nodes.
+    with cost.phase("inner"):
+        cost.add(work=1, span=1)
+    assert cost.phases.children["inner"].work == 1
+    assert inner.work == 20
+
+
+def test_phase_attribution_sums_to_model_totals():
+    cost = CostModel()
+    with cost.phase("p1"):
+        cost.add(work=30, span=4)
+    with cost.phase("p2"):
+        cost.add(work=12, span=2)
+    top_work = sum(c.work for c in cost.phases.children.values())
+    assert top_work == cost.work
+    assert cost.untracked_work() == 0
+    cost.add(work=5, span=1)  # outside every phase
+    assert cost.untracked_work() == 5
+
+
+def test_phase_reentrancy_and_count():
+    cost = CostModel()
+    for batch in ([1, 2, 3], [4, 5]):
+        with cost.phase("ingest") as ph:
+            ph.count(len(batch))
+            cost.add(work=len(batch), span=1)
+    node = cost.phases.children["ingest"]
+    assert (node.calls, node.items, node.work) == (2, 5, 5)
+
+
+def test_phase_on_disabled_model_tracks_calls_not_work():
+    cost = CostModel(enabled=False)
+    with cost.phase("p"):
+        cost.add(work=1000, span=10)
+    node = cost.phases.children["p"]
+    assert (node.work, node.span) == (0, 0)
+    assert node.calls == 1
+    assert node.wall >= 0.0
+
+
+def test_phase_reset_clears_tree():
+    cost = CostModel()
+    with cost.phase("p"):
+        cost.add(work=1, span=1)
+    cost.reset()
+    assert cost.work == 0
+    assert not cost.phases.children
+
+
+def test_phase_walk_preorder():
+    cost = CostModel()
+    with cost.phase("a"):
+        with cost.phase("b"):
+            pass
+    with cost.phase("c"):
+        pass
+    names = [(d, n.name) for d, n in cost.phases.walk()]
+    assert names == [(0, "total"), (1, "a"), (2, "b"), (1, "c")]
+
+
+def test_phase_node_merge_and_roundtrip():
+    a, b = PhaseNode("x"), PhaseNode("x")
+    a.work, a.span, a.calls, a.items, a.wall = 10, 3, 1, 4, 0.5
+    b.work, b.span, b.calls, b.items, b.wall = 7, 5, 2, 1, 0.25
+    b.child("sub").work = 6
+    a.merge(b)
+    assert (a.work, a.span, a.calls, a.items) == (17, 8, 3, 5)
+    assert a.wall == pytest.approx(0.75)
+    assert a.children["sub"].work == 6
+    again = PhaseNode.from_dict(a.to_dict())
+    assert again.to_dict() == a.to_dict()
+
+
+# --------------------------------------------------- real-path attribution
+
+
+def test_batch_insert_phases_sum_to_total():
+    """Algorithm 2's instrumented phases account for every unit of work."""
+    cost = CostModel()
+    m = BatchIncrementalMSF(32, seed=7, cost=cost)
+    m.batch_insert([(i, (i + 1) % 32, float(i)) for i in range(31)])
+    m.batch_insert([(0, 16, 0.5), (3, 9, 0.25)])
+    top = cost.phases.children
+    assert {"init", "semisort", "cpt-build", "msf-kernel", "forest-splice"} <= set(top)
+    assert sum(c.work for c in top.values()) == cost.work
+    assert cost.untracked_work() == 0
+    assert "rc-propagate" in top["forest-splice"].children
+    assert {"cpt-mark", "cpt-expand"} <= set(top["cpt-build"].children)
+
+
+# ---------------------------------------------------------------- metrics
+
+
+def test_metrics_instruments_accumulate():
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    reg.counter("c").inc(4)
+    reg.gauge("g").set(2.5)
+    for v in (1.0, 3.0, 2.0):
+        reg.histogram("h").observe(v)
+    d = reg.as_dict()
+    assert d["counters"]["c"] == 5
+    assert d["gauges"]["g"] == 2.5
+    assert d["histograms"]["h"] == {
+        "count": 3,
+        "sum": 6.0,
+        "min": 1.0,
+        "max": 3.0,
+        "mean": 2.0,
+    }
+    reg.reset()
+    assert reg.as_dict() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_disabled_registry_returns_shared_null_instruments():
+    reg = MetricsRegistry(enabled=False)
+    assert reg.counter("a") is NULL_COUNTER
+    assert reg.gauge("b") is NULL_GAUGE
+    assert reg.histogram("c") is NULL_HISTOGRAM
+    reg.counter("a").inc(100)
+    reg.histogram("c").observe(9.0)
+    assert NULL_COUNTER.value == 0
+    assert NULL_HISTOGRAM.count == 0
+    assert reg.as_dict() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_disable_reenable_keeps_values():
+    reg = MetricsRegistry()
+    reg.counter("kept").inc(3)
+    reg.enabled = False
+    reg.counter("kept").inc(99)  # null instrument, dropped
+    reg.enabled = True
+    assert reg.counter("kept").value == 3
+
+
+def test_global_registry_swap_and_toggle():
+    fresh = MetricsRegistry()
+    old = set_metrics(fresh)
+    try:
+        assert get_metrics() is fresh
+        prev = set_metrics_enabled(False)
+        assert prev is True
+        assert get_metrics().counter("x") is NULL_COUNTER
+        set_metrics_enabled(True)
+        assert isinstance(get_metrics().counter("x"), Counter)
+    finally:
+        set_metrics(old)
+
+
+def test_library_hot_paths_report_metrics():
+    fresh = MetricsRegistry()
+    old = set_metrics(fresh)
+    try:
+        m = BatchIncrementalMSF(16, seed=1)
+        m.batch_insert([(0, 1, 1.0), (1, 2, 2.0)])
+        d = fresh.as_dict()
+        assert d["counters"]["batch_msf.batches"] == 1
+        assert d["counters"]["batch_msf.inserted"] == 2
+        assert d["counters"]["semisort.calls"] >= 1
+        assert d["histograms"]["batch_msf.batch_size"]["count"] == 1
+    finally:
+        set_metrics(old)
+
+
+# ---------------------------------------------------------------- records
+
+
+def _model_with_phases() -> CostModel:
+    cost = CostModel()
+    with cost.phase("build", items=3):
+        cost.add(work=40, span=4)
+        with cost.phase("inner"):
+            cost.add(work=10, span=1)
+    with cost.phase("query"):
+        cost.add(work=5, span=2)
+    return cost
+
+
+def test_record_from_costs_single_model():
+    cost = _model_with_phases()
+    rec = record_from_costs("r", cost, params={"n": 3}, extra={"ok": True})
+    assert rec.schema == SCHEMA
+    assert rec.totals == {"work": 55, "span": 7, "wall_s": pytest.approx(rec.totals["wall_s"])}
+    assert sum(p["work"] for p in rec.phases) == cost.work
+    assert [p["name"] for p in rec.phases] == ["build", "query"]
+    assert rec.phases[0]["children"][0]["name"] == "inner"
+
+
+def test_record_merges_models_and_flags_untracked():
+    a = _model_with_phases()
+    b = CostModel()
+    with b.phase("build"):
+        b.add(work=20, span=3)
+    b.add(work=8, span=1)  # untracked on purpose
+    rec = record_from_costs("merged", [a, b])
+    assert rec.totals["work"] == a.work + b.work
+    by_name = {p["name"]: p for p in rec.phases}
+    assert by_name["build"]["work"] == 70
+    assert by_name["build"]["calls"] == 2
+    assert by_name[UNTRACKED]["work"] == 8
+    assert sum(p["work"] for p in rec.phases) == rec.totals["work"]
+
+
+def test_record_json_roundtrip(tmp_path):
+    rec = record_from_costs(
+        "rt", _model_with_phases(), params={"seed": 9}, metrics={"counters": {"c": 1}}
+    )
+    path = write_record(rec, tmp_path / "rt.json")
+    again = read_record(path)
+    assert again.to_dict() == rec.to_dict()
+    # The file itself is plain, schema-tagged JSON.
+    raw = json.loads(path.read_text())
+    assert raw["schema"] == SCHEMA
+    # phase_tree reconstructs a renderable tree with the right totals.
+    tree = again.phase_tree()
+    assert tree.work == rec.totals["work"]
+    assert set(tree.children) == {"build", "query"}
+
+
+def test_record_jsonl_append(tmp_path):
+    path = tmp_path / "log.jsonl"
+    for i in range(3):
+        cost = CostModel()
+        with cost.phase("p"):
+            cost.add(work=i, span=1)
+        append_jsonl(record_from_costs(f"run{i}", cost), path)
+    recs = read_jsonl(path)
+    assert [r.name for r in recs] == ["run0", "run1", "run2"]
+    assert [r.totals["work"] for r in recs] == [0, 1, 2]
+
+
+def test_render_phase_table_smoke():
+    cost = _model_with_phases()
+    rec = record_from_costs("smoke", cost)
+    out = render_phase_table(rec)
+    assert "smoke" in out
+    assert "build" in out and "inner" in out and "query" in out
+    assert "100.0%" in out  # total row
+    # Also renders a bare PhaseNode.
+    assert "build" in render_phase_table(cost.phases, title="direct")
+
+
+def test_read_record_rejects_non_records(tmp_path):
+    p = tmp_path / "junk.json"
+    p.write_text(json.dumps({"hello": 1}))
+    with pytest.raises((ValueError, KeyError)):
+        read_record(p)
+
+
+def test_benchmark_record_defaults_roundtrip():
+    rec = BenchmarkRecord(name="bare")
+    assert BenchmarkRecord.from_dict(rec.to_dict()).to_dict() == rec.to_dict()
