@@ -49,7 +49,7 @@ def _run_sequential(seed: int) -> tuple[int, int]:
     return cost.work, cost.span
 
 
-def test_batching_ablation(record_table, record_json, benchmark):
+def test_batching_ablation(record_table, record_json, benchmark, engine):
     costs: list[CostModel] = []
 
     def sweep():
@@ -94,7 +94,7 @@ def test_batching_ablation(record_table, record_json, benchmark):
 
 
 @pytest.mark.parametrize("ell", [1, 128, M])
-def test_wallclock_insert_all(benchmark, ell):
+def test_wallclock_insert_all(benchmark, ell, engine):
     def run():
         if ell == 1:
             s = SequentialIncrementalMSF(N, seed=31)

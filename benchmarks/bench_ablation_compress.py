@@ -28,7 +28,7 @@ N = 4096
 RULES = ("mr", "ordered")
 
 
-def test_compress_rule_ablation(record_table, record_json, benchmark):
+def test_compress_rule_ablation(record_table, record_json, benchmark, engine):
     costs: list[CostModel] = []
 
     def sweep():
@@ -91,7 +91,7 @@ def test_compress_rule_ablation(record_table, record_json, benchmark):
     assert ordered[4] < mr[4], "ordered rule must cheapen updates"
 
 
-def test_rules_agree_on_msf(record_table, benchmark):
+def test_rules_agree_on_msf(record_table, benchmark, engine):
     def run():
         rng = random.Random(5)
         edges = gnm_edges(512, 2048, rng)
@@ -113,7 +113,7 @@ def test_rules_agree_on_msf(record_table, benchmark):
 
 
 @pytest.mark.parametrize("rule", RULES)
-def test_wallclock_path_build(benchmark, rule):
+def test_wallclock_path_build(benchmark, rule, engine):
     def build():
         rng = random.Random(7)
         f = DynamicForest(N, seed=7, compress_rule=rule)

@@ -43,7 +43,7 @@ QUERIES = {
 }
 
 
-def test_query_work_logarithmic(record_table, record_json, benchmark):
+def test_query_work_logarithmic(record_table, record_json, benchmark, engine):
     costs: list[CostModel] = []
 
     def sweep():
@@ -81,7 +81,7 @@ def test_query_work_logarithmic(record_table, record_json, benchmark):
 
 
 @pytest.mark.parametrize("query", sorted(QUERIES))
-def test_wallclock_query(benchmark, query):
+def test_wallclock_query(benchmark, query, engine):
     n = 4096
     f = _forest(n)
     rng = random.Random(1)

@@ -67,7 +67,7 @@ def _measure_sw_approx(ell: int, eps: float, seed: int) -> tuple[float, CostMode
     return work / max(inserted, 1), cost
 
 
-def test_table1_row_msf(record_table, record_json, benchmark):
+def test_table1_row_msf(record_table, record_json, benchmark, engine):
     costs: list[CostModel] = []
 
     def sweep():
@@ -121,7 +121,7 @@ def test_table1_row_msf(record_table, record_json, benchmark):
         assert a01 < N  # never Omega(n) per edge (the fully-dynamic cost)
 
 
-def test_approximation_quality(record_table, benchmark):
+def test_approximation_quality(record_table, benchmark, engine):
     # Sanity companion: estimates really are within (1 + eps).
     rng = random.Random(5)
 
@@ -159,7 +159,7 @@ def test_approximation_quality(record_table, benchmark):
 
 
 @pytest.mark.parametrize("ell", [32, 512])
-def test_wallclock_exact_batch(benchmark, ell):
+def test_wallclock_exact_batch(benchmark, ell, engine):
     rng = random.Random(7)
     m = BatchIncrementalMSF(N, seed=7)
 

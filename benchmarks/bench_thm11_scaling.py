@@ -42,7 +42,7 @@ def _measure_batch_work(n: int, ell: int, seed: int) -> tuple[int, int, CostMode
     return c.work, c.span, m.cost
 
 
-def test_work_scaling_matches_bound(record_table, record_json, benchmark):
+def test_work_scaling_matches_bound(record_table, record_json, benchmark, engine):
     costs: list[CostModel] = []
 
     def sweep():
@@ -87,7 +87,7 @@ def test_work_scaling_matches_bound(record_table, record_json, benchmark):
     assert fits["l*lg(1+n/l)"] < fits["l*lg(n)"]
 
 
-def test_span_scaling_polylog(record_table, record_json, benchmark):
+def test_span_scaling_polylog(record_table, record_json, benchmark, engine):
     costs: list[CostModel] = []
 
     def sweep():
@@ -121,7 +121,7 @@ def test_span_scaling_polylog(record_table, record_json, benchmark):
 
 
 @pytest.mark.parametrize("ell", [16, 256, 4096])
-def test_wallclock_batch_insert(benchmark, ell):
+def test_wallclock_batch_insert(benchmark, ell, engine):
     seeds = iter(range(10_000))
 
     def setup():

@@ -77,6 +77,10 @@ class BatchIncrementalMSF:
             ``"kkt"`` (default; expected linear work), ``"kruskal"``,
             ``"boruvka"``, ``"prim"``, or any callable with the same
             signature.
+        engine: RC-tree engine for the underlying dynamic forest --
+            ``"object"`` or ``"array"``; ``None`` defers to
+            ``$REPRO_ENGINE`` and then the package default
+            (:mod:`repro.trees.engine`).
 
     Edge ids: callers may pass explicit non-negative ids (must be unique
     over the structure's lifetime); otherwise ids are assigned from an
@@ -91,6 +95,7 @@ class BatchIncrementalMSF:
         cost: CostModel | None = None,
         kernel: str | Callable = "kkt",
         compress_rule: str = "mr",
+        engine: str | None = None,
     ) -> None:
         self.n = n
         self.cost = cost if cost is not None else CostModel()
@@ -99,8 +104,13 @@ class BatchIncrementalMSF:
         # observability layer's sum-to-total invariant; docs/observability.md).
         with self.cost.phase("init", items=n):
             self.forest = DynamicForest(
-                n, seed=seed, cost=self.cost, compress_rule=compress_rule
+                n,
+                seed=seed,
+                cost=self.cost,
+                compress_rule=compress_rule,
+                engine=engine,
             )
+        self.engine = self.forest.engine
         if callable(kernel):
             self._kernel = kernel
         else:

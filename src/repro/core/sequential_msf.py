@@ -25,11 +25,16 @@ class SequentialIncrementalMSF:
     """
 
     def __init__(
-        self, n: int, seed: int = 0x5EED, cost: CostModel | None = None
+        self,
+        n: int,
+        seed: int = 0x5EED,
+        cost: CostModel | None = None,
+        engine: str | None = None,
     ) -> None:
         self.n = n
         self.cost = cost if cost is not None else CostModel()
-        self.forest = DynamicForest(n, seed=seed, cost=self.cost)
+        self.forest = DynamicForest(n, seed=seed, cost=self.cost, engine=engine)
+        self.engine = self.forest.engine
         self._next_eid = 0
         self._seen_eids: set[int] = set()
 

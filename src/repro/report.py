@@ -117,12 +117,49 @@ def build_report(results_dir: pathlib.Path) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _compare_records(records) -> str:
+    """A totals table comparing several records side by side.
+
+    Rendered whenever ``--trace`` receives two or more records -- the
+    intended use is comparing the same benchmark run under different
+    engines (``params["engine"]``, stamped by the benchmark harness), with
+    wall-clock speedups computed against the *first* record given.
+    """
+    from repro.analysis.tables import format_table
+
+    base_wall = records[0].totals.get("wall_s") or 0.0
+    rows = []
+    for rec in records:
+        wall = rec.totals.get("wall_s") or 0.0
+        speedup = f"{base_wall / wall:.2f}x" if base_wall and wall else "-"
+        rows.append(
+            [
+                rec.name,
+                rec.params.get("engine", "?"),
+                rec.totals.get("work", ""),
+                rec.totals.get("span", ""),
+                f"{wall:.3f}",
+                speedup,
+            ]
+        )
+    return format_table(
+        ["record", "engine", "work", "span", "wall_s", "speedup"],
+        rows,
+        title=f"Record comparison (wall-clock speedup vs {records[0].name})",
+    )
+
+
 def render_trace(paths: list[pathlib.Path]) -> int:
-    """Print the phase-tree table of each benchmark record in ``paths``."""
+    """Print the phase-tree table of each benchmark record in ``paths``.
+
+    With two or more records, also print a side-by-side totals comparison
+    (engine tag, work/span, wall-clock speedup vs the first record).
+    """
     from repro.obs.export import read_record
     from repro.obs.trace import render_phase_table
 
     status = 0
+    records = []
     for i, path in enumerate(paths):
         if not path.exists():
             print(f"no such record: {path}", file=sys.stderr)
@@ -136,10 +173,14 @@ def render_trace(paths: list[pathlib.Path]) -> int:
             continue
         if i:
             print()
+        records.append(rec)
         print(render_phase_table(rec))
         if rec.params:
             params = ", ".join(f"{k}={v}" for k, v in sorted(rec.params.items()))
             print(f"params: {params}")
+    if len(records) > 1:
+        print()
+        print(_compare_records(records))
     return status
 
 

@@ -47,6 +47,7 @@ class SWApproxMSFWeight:
         max_weight: float,
         seed: int = 0x5EED,
         cost: CostModel | None = None,
+        engine: str | None = None,
     ) -> None:
         if eps <= 0:
             raise ValueError("eps must be positive")
@@ -66,9 +67,12 @@ class SWApproxMSFWeight:
             CostModel(enabled=self.cost.enabled) for _ in range(self.num_levels)
         ]
         self._levels = [
-            SWConnectivityEager(n, seed=seed + i, cost=self._level_costs[i])
+            SWConnectivityEager(
+                n, seed=seed + i, cost=self._level_costs[i], engine=engine
+            )
             for i in range(self.num_levels)
         ]
+        self.engine = self._levels[0].engine
 
     def _threshold(self, i: int) -> float:
         return (1.0 + self.eps) ** i

@@ -30,12 +30,17 @@ class SWConnectivity:
     """
 
     def __init__(
-        self, n: int, seed: int = 0x5EED, cost: CostModel | None = None
+        self,
+        n: int,
+        seed: int = 0x5EED,
+        cost: CostModel | None = None,
+        engine: str | None = None,
     ) -> None:
         self.n = n
         self.cost = cost if cost is not None else CostModel()
         self.clock = WindowClock()
-        self._msf = BatchIncrementalMSF(n, seed=seed, cost=self.cost)
+        self._msf = BatchIncrementalMSF(n, seed=seed, cost=self.cost, engine=engine)
+        self.engine = self._msf.engine
 
     def batch_insert(
         self, edges: Sequence[tuple[int, int]], taus: Sequence[int] | None = None
@@ -98,9 +103,13 @@ class SWConnectivityEager(SWConnectivity):
     """
 
     def __init__(
-        self, n: int, seed: int = 0x5EED, cost: CostModel | None = None
+        self,
+        n: int,
+        seed: int = 0x5EED,
+        cost: CostModel | None = None,
+        engine: str | None = None,
     ) -> None:
-        super().__init__(n, seed=seed, cost=cost)
+        super().__init__(n, seed=seed, cost=cost, engine=engine)
         self._d = Treap(cost=self.cost)
 
     def batch_insert(

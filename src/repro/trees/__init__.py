@@ -13,6 +13,11 @@ Blelloch, Dhulipala and Westrick [2] that the paper builds on (Section 2.2):
   maintained under batch link/cut by change propagation, exposing the RC
   tree primitives of Section 3 (Boundary / Children / Representative /
   Weight).
+- :mod:`repro.trees.rcarray` -- a NumPy structure-of-arrays port of the
+  same contraction (identical coin flips, snapshots and cost charges)
+  whose level passes run as vectorized array sweeps; selected via
+  :mod:`repro.trees.engine` (``engine="array"`` is the default,
+  overridable with ``$REPRO_ENGINE``).
 - :mod:`repro.trees.cpt` -- the compressed path tree (Section 3,
   Algorithm 1), re-exported by :mod:`repro.core` as the paper's key
   ingredient.
@@ -23,6 +28,14 @@ Blelloch, Dhulipala and Westrick [2] that the paper builds on (Section 2.2):
 from repro.trees.cluster import ClusterNode, ClusterKind
 from repro.trees.ternary import TernaryForest
 from repro.trees.rcforest import RCForest
+from repro.trees.rcarray import RCArrayForest
+from repro.trees.engine import (
+    ComponentSummary,
+    DEFAULT_ENGINE,
+    ENGINES,
+    make_rc_forest,
+    resolve_engine,
+)
 from repro.trees.forest import DynamicForest
 from repro.trees.cpt import CompressedPathTree, PathAggregate, compressed_path_trees
 
@@ -31,6 +44,12 @@ __all__ = [
     "ClusterKind",
     "TernaryForest",
     "RCForest",
+    "RCArrayForest",
+    "ComponentSummary",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "make_rc_forest",
+    "resolve_engine",
     "DynamicForest",
     "CompressedPathTree",
     "PathAggregate",

@@ -1,0 +1,66 @@
+"""Engine selection seam for the RC-tree layer.
+
+Two interchangeable contraction engines implement the Miller-Reif
+rake/compress forest:
+
+- ``"object"`` -- :class:`repro.trees.rcforest.RCForest`, the executable
+  reference model (per-node Python objects, one ``ClusterNode`` per
+  cluster).
+- ``"array"`` -- :class:`repro.trees.rcarray.RCArrayForest`, a NumPy
+  structure-of-arrays port that makes the same coin flips, produces the
+  same contraction (``snapshot()``-identical), and charges the same
+  simulated work/span to the same phases, but runs the hot level passes
+  as vectorized array sweeps.
+
+Selection precedence, weakest to strongest:
+
+1. the package default (``DEFAULT_ENGINE``),
+2. the ``REPRO_ENGINE`` environment variable,
+3. an explicit ``engine=...`` argument anywhere in the stack
+   (:func:`make_rc_forest`, ``DynamicForest``, ``BatchIncrementalMSF``,
+   the sliding-window structures).
+
+``resolve_engine(None)`` applies 1-2; passing a concrete name applies 3.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import NamedTuple
+
+ENGINES = ("object", "array")
+DEFAULT_ENGINE = "array"
+ENV_VAR = "REPRO_ENGINE"
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """Resolve an engine name: explicit arg > ``$REPRO_ENGINE`` > default."""
+    if engine is None:
+        engine = os.environ.get(ENV_VAR) or DEFAULT_ENGINE
+    engine = engine.lower()
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown RC-tree engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
+
+
+def make_rc_forest(engine: str | None = None, **kwargs):
+    """Construct the selected engine's forest (shared constructor args)."""
+    name = resolve_engine(engine)
+    if name == "array":
+        from repro.trees.rcarray import RCArrayForest
+
+        return RCArrayForest(**kwargs)
+    from repro.trees.rcforest import RCForest
+
+    return RCForest(**kwargs)
+
+
+class ComponentSummary(NamedTuple):
+    """Root-cluster aggregates, engine-neutral (used by DynamicForest)."""
+
+    sub_verts: int
+    sub_edges: int
+    sub_sum: float
+    diam: tuple[float, int, int]

@@ -12,8 +12,8 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.runtime.cost import CostModel
-from repro.trees.cpt import CompressedPathTree, compressed_path_trees
-from repro.trees.rcforest import RCForest
+from repro.trees.cpt import CompressedPathTree
+from repro.trees.engine import make_rc_forest
 from repro.trees.ternary import TernaryForest
 
 
@@ -32,16 +32,19 @@ class DynamicForest:
         seed: int = 0x5EED,
         cost: CostModel | None = None,
         compress_rule: str = "mr",
+        engine: str | None = None,
     ) -> None:
         self.n = n
         self.cost = cost if cost is not None else CostModel(enabled=False)
         self.ternary = TernaryForest(n)
-        self.rc = RCForest(
+        self.rc = make_rc_forest(
+            engine,
             vertices=range(n),
             seed=seed,
             cost=self.cost,
             compress_rule=compress_rule,
         )
+        self.engine = self.rc.engine
         self._edge_info: dict[int, tuple[int, int, float]] = {}
 
     # ------------------------------------------------------------------
@@ -107,8 +110,8 @@ class DynamicForest:
                 return x
 
             for u, v, w, eid in links:
-                ru = find(id(self.rc.root_cluster(self.ternary.canonical(u))))
-                rv = find(id(self.rc.root_cluster(self.ternary.canonical(v))))
+                ru = find(self.rc.root_key(self.ternary.canonical(u)))
+                rv = find(self.rc.root_key(self.ternary.canonical(v)))
                 if ru == rv:
                     raise ValueError(
                         f"link ({u}, {v}) would close a cycle in the forest"
@@ -181,7 +184,7 @@ class DynamicForest:
     # -- component aggregates (O(lg n) root walk + O(1) read) -------------
 
     def _root(self, v: int):
-        return self.rc.root_cluster(self.ternary.canonical(v))
+        return self.rc.component_summary(self.ternary.canonical(v))
 
     def component_size(self, v: int) -> int:
         """Number of original vertices in ``v``'s tree.
@@ -269,19 +272,18 @@ class DynamicForest:
         for v in marks:
             if not (0 <= v < self.n):
                 raise KeyError(f"marked vertex {v} out of range")
-        raw = compressed_path_trees(
-            self.rc,
-            [self.ternary.canonical(v) for v in marks],
-            cost=self.cost,
+        canon = self.ternary.canonicals
+        raw = self.rc.compressed_path_trees(
+            [canon[v] for v in marks], cost=self.cost
         )
-        owner = self.ternary.owner
-        vertices = sorted({owner(x) for x in raw.vertices})
+        owner = self.ternary.owners
+        vertices = sorted(set(map(owner.__getitem__, raw.vertices)))
         edges: list[tuple[int, int, float, int]] = []
         aggs = []
         for (a, b, w, eid), agg in zip(raw.edges, raw.aggregates):
-            if TernaryForest.is_virtual_eid(eid):
+            if eid < 0:  # virtual chain link (TernaryForest.is_virtual_eid)
                 continue  # all-virtual segment: endpoints share an owner
-            oa, ob = owner(a), owner(b)
+            oa, ob = owner[a], owner[b]
             if oa == ob:  # pragma: no cover - forests cannot revisit a vertex
                 raise AssertionError(f"real CPT segment loops at vertex {oa}")
             edges.append((oa, ob, w, eid))

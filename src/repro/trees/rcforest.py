@@ -83,6 +83,8 @@ class RCForest:
     propagation pass.
     """
 
+    engine = "object"
+
     def __init__(
         self,
         vertices: Iterable[int] = (),
@@ -189,9 +191,31 @@ class RCForest:
         self.cost.add(work=steps + 1, span=steps + 1)
         return node
 
+    def root_key(self, v: int) -> int:
+        """Engine-neutral identity of ``v``'s root cluster (comparable
+        across calls on the same engine instance, like ``RCArrayForest``'s
+        node ids)."""
+        return id(self.root_cluster(v))
+
     def connected(self, u: int, v: int) -> bool:
         """Same-tree test via root clusters (O(lg n) w.h.p.)."""
         return self.root_cluster(u) is self.root_cluster(v)
+
+    def component_summary(self, v: int):
+        """Root-cluster aggregates of ``v``'s component, engine-neutral."""
+        from repro.trees.engine import ComponentSummary
+
+        root = self.root_cluster(v)
+        return ComponentSummary(
+            root.sub_verts, root.sub_edges, root.sub_sum, root.diam
+        )
+
+    def compressed_path_trees(self, marked, cost: CostModel | None = None):
+        """Compressed path trees over ``marked`` (Algorithm 1); same
+        signature as ``RCArrayForest.compressed_path_trees``."""
+        from repro.trees.cpt import compressed_path_trees
+
+        return compressed_path_trees(self, marked, cost=cost)
 
     def rc_height(self, v: int) -> int:
         """Depth of vertex leaf ``v`` below its root (diagnostics)."""

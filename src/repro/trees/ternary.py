@@ -70,6 +70,18 @@ class TernaryForest:
         """The original vertex that internal copy ``copy`` belongs to."""
         return self._copy_owner[copy]
 
+    @property
+    def canonicals(self) -> list[int]:
+        """Read-only index map: original vertex -> canonical copy (bulk
+        form of :meth:`canonical` for hot paths)."""
+        return self._canonical
+
+    @property
+    def owners(self) -> list[int]:
+        """Read-only index map: internal copy -> original vertex (bulk
+        form of :meth:`owner` for hot paths)."""
+        return self._copy_owner
+
     def has_edge(self, eid: int) -> bool:
         """Whether real edge ``eid`` is live."""
         return eid in self._edge_slot

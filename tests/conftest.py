@@ -1,0 +1,29 @@
+"""Shared pytest configuration: Hypothesis profiles.
+
+Property-based suites run under one of two registered profiles:
+
+- ``dev`` (default): Hypothesis's stock settings -- thorough local runs.
+- ``ci``: bounded example counts and no deadline, so the full tier-1
+  suite stays fast and flake-free on shared CI runners.
+
+Select one with ``HYPOTHESIS_PROFILE=ci pytest`` (the CI workflow in
+``.github/workflows/ci.yml`` does exactly that).  Suites that pin their
+own ``@settings`` (the stateful machines) keep their explicit values;
+the profile governs everything else.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile("dev", settings())
+settings.register_profile(
+    "ci",
+    max_examples=25,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

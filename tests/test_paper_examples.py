@@ -66,7 +66,9 @@ class TestFigure1:
 class TestFigure2:
     @pytest.fixture()
     def forest(self):
-        f = DynamicForest(12, seed=2)
+        # These tests walk the object engine's per-node cluster graph
+        # (vleaf / comp / root_cluster), so they pin engine="object".
+        f = DynamicForest(12, seed=2, engine="object")
         f.batch_link(fig2_links())
         return f
 

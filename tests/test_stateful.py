@@ -17,6 +17,9 @@ from hypothesis.stateful import (
     rule,
 )
 
+from repro.core import BatchIncrementalMSF
+from repro.msf.graph import EdgeArray
+from repro.msf.kruskal import kruskal_msf
 from repro.sliding_window import SWConnectivityEager
 from repro.trees import DynamicForest
 
@@ -155,6 +158,97 @@ class SlidingWindowMachine(RuleBasedStateMachine):
         assert self.sw.window_size == len(self.stream) - self.tw
 
 
+class CrossEngineMSFMachine(RuleBasedStateMachine):
+    """Both RC-tree engines driven through identical random MSF streams.
+
+    Every rule applies the same command (``batch_insert`` /
+    ``forget_edges`` / queries) to an object-engine and an array-engine
+    :class:`BatchIncrementalMSF`; invariants demand the two agree with
+    each other, charge identical simulated work/span, and match a Kruskal
+    oracle.  The oracle is applied *incrementally* -- ``kruskal_msf`` over
+    (surviving forest + new batch) per insert, edge removal per forget --
+    which models exactly the structure's documented semantics: while no
+    edge has been forgotten it coincides with global Kruskal over the
+    whole stream, and ``forget_edges`` is a cut *without replacement*
+    (the sliding-window expiry primitive), not a general deletion.  This
+    is the stateful counterpart of ``tests/test_engine_differential.py``
+    -- interleavings instead of single shots, and Hypothesis shrinks any
+    divergence to a minimal command sequence.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.obj = BatchIncrementalMSF(N, seed=41, engine="object")
+        self.arr = BatchIncrementalMSF(N, seed=41, engine="array")
+        self.oracle: list[tuple[int, int, float, int]] = []
+        self.next_eid = 0
+
+    @rule(
+        edges=st.lists(
+            st.tuples(
+                st.integers(0, N - 1),
+                st.integers(0, N - 1),
+                st.integers(0, 6),
+            ),
+            max_size=8,
+        )
+    )
+    def insert(self, edges):
+        rows = []
+        for u, v, w in edges:
+            rows.append((u, v, float(w), self.next_eid))
+            self.next_eid += 1
+        rep_o = self.obj.batch_insert(rows)
+        rep_a = self.arr.batch_insert(rows)
+        assert rep_o.inserted == rep_a.inserted
+        assert rep_o.evicted == rep_a.evicted
+        assert rep_o.rejected == rep_a.rejected
+        pool = self.oracle + [r for r in rows if r[0] != r[1]]
+        if pool:
+            arr = EdgeArray.from_tuples(N, pool)
+            keep = set(arr.eid[kruskal_msf(arr)].tolist())
+            self.oracle = [r for r in pool if r[3] in keep]
+
+    @rule(data=st.data())
+    def forget(self, data):
+        if not self.oracle:
+            return
+        eids = sorted(r[3] for r in self.oracle)
+        chosen = data.draw(
+            st.lists(st.sampled_from(eids), unique=True, max_size=4),
+            label="forgotten eids",
+        )
+        if not chosen:
+            return
+        self.obj.forget_edges(chosen)
+        self.arr.forget_edges(chosen)
+        gone = set(chosen)
+        self.oracle = [r for r in self.oracle if r[3] not in gone]
+
+    @rule(u=st.integers(0, N - 1), v=st.integers(0, N - 1))
+    def query_connected(self, u, v):
+        assert self.obj.connected(u, v) == self.arr.connected(u, v)
+
+    @rule(u=st.integers(0, N - 1), v=st.integers(0, N - 1))
+    def query_heaviest(self, u, v):
+        assert self.obj.heaviest_edge(u, v) == self.arr.heaviest_edge(u, v)
+
+    @invariant()
+    def engines_and_oracle_agree(self):
+        msf_o = self.obj.msf_edges()
+        assert msf_o == self.arr.msf_edges()
+        assert self.obj.num_components == self.arr.num_components
+        assert self.obj.total_weight() == self.arr.total_weight()
+        assert {e[3] for e in msf_o} == {r[3] for r in self.oracle}
+
+    @invariant()
+    def engines_charge_identical_costs(self):
+        assert (self.obj.cost.work, self.obj.cost.span) == (
+            self.arr.cost.work,
+            self.arr.cost.span,
+        )
+
+
 TestDynamicForestStateful = DynamicForestMachine.TestCase
 TestDynamicForestStateful.settings = settings(
     max_examples=25, stateful_step_count=30, deadline=None
@@ -162,5 +256,10 @@ TestDynamicForestStateful.settings = settings(
 
 TestSlidingWindowStateful = SlidingWindowMachine.TestCase
 TestSlidingWindowStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+TestCrossEngineMSFStateful = CrossEngineMSFMachine.TestCase
+TestCrossEngineMSFStateful.settings = settings(
     max_examples=25, stateful_step_count=30, deadline=None
 )
