@@ -12,8 +12,15 @@ Only import statements are checked -- doc code blocks are illustrative
 fragments, not runnable scripts -- but an import naming a symbol that no
 longer exists is exactly the kind of rot this catches.
 
-Exit status: 0 when every import resolves, 1 otherwise (one line per
-failure).  Run directly or via ``tests/test_docs_lint.py``.
+It also checks *coverage* in the other direction: every public module
+under ``src/repro/`` (any ``.py`` file or package whose name does not
+start with ``_``) must be mentioned by dotted name in at least one doc
+page, so new code cannot land undocumented.  ``docs/api_overview.md``
+keeps a module index for exactly this purpose.
+
+Exit status: 0 when every import resolves and every module is mentioned,
+1 otherwise (one line per failure).  Run directly or via
+``tests/test_docs_lint.py``.
 """
 
 from __future__ import annotations
@@ -83,6 +90,37 @@ def check_file(path: pathlib.Path) -> list[str]:
     return failures
 
 
+def public_modules(src: pathlib.Path | None = None) -> list[str]:
+    """Dotted names of every public module and package under ``src/repro``.
+
+    A module is public when no component of its path (below ``src``)
+    starts with ``_``; packages are named by their ``__init__.py``.  The
+    top-level ``repro`` package itself is omitted -- it is trivially
+    mentioned everywhere.
+    """
+    src = src or REPO_ROOT / "src"
+    names = set()
+    for py in (src / "repro").rglob("*.py"):
+        rel = py.relative_to(src).with_suffix("")
+        parts = list(rel.parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        if len(parts) < 2 or any(p.startswith("_") for p in parts):
+            continue
+        names.add(".".join(parts))
+    return sorted(names)
+
+
+def check_module_coverage(paths: list[pathlib.Path]) -> list[str]:
+    """Failure messages for public modules no doc page mentions."""
+    corpus = "\n".join(p.read_text() for p in paths if p.exists())
+    return [
+        f"undocumented module: {name} (not mentioned in any doc page)"
+        for name in public_modules()
+        if name not in corpus
+    ]
+
+
 def default_targets() -> list[pathlib.Path]:
     """The markdown files the repo promises to keep import-accurate."""
     targets = sorted((REPO_ROOT / "docs").glob("*.md"))
@@ -94,16 +132,23 @@ def default_targets() -> list[pathlib.Path]:
 
 
 def main(argv: list[str]) -> int:
-    paths = [pathlib.Path(a) for a in argv] or default_targets()
+    explicit = [pathlib.Path(a) for a in argv]
+    paths = explicit or default_targets()
     failures: list[str] = []
     checked = 0
     for path in paths:
         checked += 1
         failures.extend(check_file(path))
+    if not explicit:
+        # Coverage only makes sense against the full doc set.
+        failures.extend(check_module_coverage(paths))
     for msg in failures:
         print(msg, file=sys.stderr)
     if not failures:
-        print(f"docs import lint: {checked} files clean")
+        print(
+            f"docs import lint: {checked} files clean, "
+            f"{len(public_modules())} modules documented"
+        )
     return 1 if failures else 0
 
 

@@ -16,6 +16,7 @@ from repro.graphgen.random_graphs import (
 from repro.graphgen.streams import (
     EdgeBatch,
     bipartite_stream,
+    bursty_stream,
     cycle_pulse_stream,
     sliding_window_stream,
     weighted_stream,
@@ -32,5 +33,6 @@ __all__ = [
     "sliding_window_stream",
     "weighted_stream",
     "bipartite_stream",
+    "bursty_stream",
     "cycle_pulse_stream",
 ]

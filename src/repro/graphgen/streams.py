@@ -68,6 +68,45 @@ def weighted_stream(
     return out
 
 
+def bursty_stream(
+    n: int,
+    rounds: int,
+    base_batch: int,
+    burst_batch: int,
+    window: int,
+    rng: random.Random,
+    burst_every: int = 4,
+    weight_range: tuple[float, float] | None = None,
+) -> list[EdgeBatch]:
+    """Uniform random edges with periodic arrival bursts.
+
+    Every ``burst_every``-th round delivers ``burst_batch`` edges instead
+    of ``base_batch`` -- the load shape that exercises adaptive
+    micro-batching in :mod:`repro.service` (a backlogged flush commits a
+    larger round, amortizing the per-batch ``lg(1 + n/l)`` factor).  With
+    ``weight_range`` the edges carry uniform weights (for the weighted
+    structures); otherwise they are ``(u, v)`` pairs.
+    """
+    out: list[EdgeBatch] = []
+    live = 0
+    for r in range(rounds):
+        size = burst_batch if burst_every and r % burst_every == burst_every - 1 else base_batch
+        batch = []
+        for _ in range(size):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            if weight_range is None:
+                batch.append((u, v))
+            else:
+                batch.append((u, v, rng.uniform(*weight_range)))
+        live += len(batch)
+        expire = max(0, live - window)
+        live -= expire
+        out.append(EdgeBatch(tuple(batch), expire))
+    return out
+
+
 def bipartite_stream(
     n: int,
     rounds: int,

@@ -39,6 +39,7 @@ _SECTIONS = [
             "table1_sparsifier_quality",
         ],
     ),
+    ("Service layer", ["service_throughput"]),
     (
         "Ablations",
         [

@@ -28,7 +28,7 @@ Examples:
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
 
 
@@ -50,6 +50,23 @@ class Scheduler:
     ) -> list[Any]:
         """Like :meth:`map` with argument tuples unpacked."""
         return self.map(lambda args: fn(*args), items)
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future":
+        """Launch one task; returns a :class:`~concurrent.futures.Future`.
+
+        The sequential backend runs ``fn`` inline and returns an
+        already-resolved future, so callers (e.g. the producer fan-out in
+        ``repro.service.demo``) are backend-agnostic.
+
+        >>> SequentialScheduler().submit(lambda a, b: a + b, 2, 3).result()
+        5
+        """
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:  # noqa: BLE001 - mirror executor behavior
+            future.set_exception(exc)
+        return future
 
     def close(self) -> None:
         """Release any worker resources (no-op for sequential backends)."""
@@ -82,6 +99,10 @@ class ThreadPoolScheduler(Scheduler):
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
         """Pool-backed application (profitable only when fn drops the GIL)."""
         return list(self._pool.map(fn, items))
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future":
+        """Launch one task on the pool; returns its future."""
+        return self._pool.submit(fn, *args)
 
     def close(self) -> None:
         """Shut the pool down, waiting for in-flight tasks."""

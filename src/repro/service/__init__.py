@@ -1,0 +1,47 @@
+"""Durable streaming service layer over the sliding-window structures.
+
+:class:`StreamService` accepts edge insertions and expirations from
+concurrent producers, coalesces them into adaptive micro-batches (size-
+and deadline-triggered flushes keep batches large enough to amortize the
+per-batch ``lg(1 + n/l)`` factor), applies them behind a single-writer
+apply loop, and -- given a data directory -- makes every round durable
+via a write-ahead log plus periodic snapshots, recovering after a crash
+to a state whose query answers are byte-identical to an uninterrupted
+run.  See ``docs/service.md`` for the architecture and
+``python -m repro.service.demo`` for a live walkthrough.
+"""
+
+from repro.service.service import (
+    FAILPOINTS,
+    Backpressure,
+    InjectedCrash,
+    ServiceClosed,
+    ServiceConfig,
+    StreamService,
+    apply_ops,
+)
+from repro.service.snapshot import SNAPSHOT_SCHEMA, SnapshotStore
+from repro.service.wal import (
+    WAL_SCHEMA,
+    WalCorruption,
+    WalRecord,
+    WriteAheadLog,
+    read_wal,
+)
+
+__all__ = [
+    "StreamService",
+    "ServiceConfig",
+    "Backpressure",
+    "InjectedCrash",
+    "ServiceClosed",
+    "FAILPOINTS",
+    "apply_ops",
+    "SnapshotStore",
+    "SNAPSHOT_SCHEMA",
+    "WriteAheadLog",
+    "WalRecord",
+    "WalCorruption",
+    "WAL_SCHEMA",
+    "read_wal",
+]

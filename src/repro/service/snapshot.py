@@ -1,0 +1,99 @@
+"""Snapshot store: periodic pickled checkpoints of a window structure.
+
+Every structure in the library pickles and keeps evolving identically
+afterwards (``tests/test_serialization.py`` proves snapshot-identical
+evolution), so a durable checkpoint is simply the pickled structure tagged
+with the WAL LSN it covers: *rounds ``0..lsn`` applied*.  Recovery loads
+the newest loadable snapshot and replays the WAL suffix ``lsn+1..``.
+
+Writes are atomic -- pickle to ``<name>.tmp``, then :func:`os.replace` --
+so a crash mid-snapshot leaves at worst a stale ``.tmp`` and never a
+half-written checkpoint.  Loading skips unreadable snapshots (falling back
+to the next older one), because a corrupt checkpoint must degrade recovery
+to a longer replay, not block it.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import pickle
+import re
+from typing import Any
+
+SNAPSHOT_SCHEMA = "repro.service/snapshot/v1"
+
+_SNAP_RE = re.compile(r"^snapshot-(\d{12})\.pkl$")
+
+
+class SnapshotStore:
+    """Checkpoint files ``snapshot-<lsn>.pkl`` under one directory.
+
+    Args:
+        directory: where checkpoints live (created on first save).
+        retain: how many newest checkpoints to keep; older ones are pruned
+            after each successful save (at least 1 is always kept).
+        fsync: force each checkpoint through the OS cache before the
+            atomic rename publishes it.
+    """
+
+    def __init__(
+        self, directory: str | pathlib.Path, retain: int = 2, fsync: bool = False
+    ) -> None:
+        self.directory = pathlib.Path(directory)
+        self.retain = max(1, retain)
+        self.fsync = fsync
+
+    def _path(self, lsn: int) -> pathlib.Path:
+        return self.directory / f"snapshot-{lsn:012d}.pkl"
+
+    def lsns(self) -> list[int]:
+        """LSNs of the stored checkpoints, oldest first."""
+        if not self.directory.is_dir():
+            return []
+        out = []
+        for p in self.directory.iterdir():
+            m = _SNAP_RE.match(p.name)
+            if m:
+                out.append(int(m.group(1)))
+        return sorted(out)
+
+    def save(self, structure: Any, lsn: int) -> pathlib.Path:
+        """Checkpoint ``structure`` as covering WAL rounds ``0..lsn``."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(lsn)
+        tmp = path.with_suffix(".pkl.tmp")
+        payload = {"schema": SNAPSHOT_SCHEMA, "lsn": lsn, "structure": structure}
+        with tmp.open("wb") as f:
+            pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
+            f.flush()
+            if self.fsync:
+                os.fsync(f.fileno())
+        os.replace(tmp, path)
+        self._prune()
+        return path
+
+    def load_latest(self) -> tuple[int, Any] | None:
+        """The newest loadable checkpoint as ``(lsn, structure)``.
+
+        Unreadable checkpoints are skipped (older ones are tried next);
+        returns ``None`` when no checkpoint can be loaded.
+        """
+        for lsn in reversed(self.lsns()):
+            try:
+                with self._path(lsn).open("rb") as f:
+                    payload = pickle.load(f)
+                if payload.get("schema") != SNAPSHOT_SCHEMA:
+                    continue
+                return int(payload["lsn"]), payload["structure"]
+            except (OSError, pickle.UnpicklingError, KeyError, EOFError,
+                    AttributeError, ImportError, IndexError):
+                continue
+        return None
+
+    def _prune(self) -> None:
+        for lsn in self.lsns()[: -self.retain]:
+            try:
+                self._path(lsn).unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass

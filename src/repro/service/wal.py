@@ -1,0 +1,219 @@
+"""Write-ahead edge log: the durability substrate of :mod:`repro.service`.
+
+The log is an append-only text file of one JSON record per line.  Each
+record is one *round* -- the ordered op list of one micro-batch flush --
+stamped with a monotonically increasing log sequence number (LSN) and a
+CRC32 of its canonical serialization:
+
+    {"lsn": 7, "ops": [["i", [[0, 1], [1, 2]]], ["e", 3]], "crc": 2923716406}
+
+Ops are ``["i", edges]`` (insert ``edges`` on the new side of the window)
+and ``["e", delta]`` (expire the ``delta`` oldest items).  Edges are stored
+verbatim -- ``[u, v]`` or ``[u, v, w]`` rows -- because the sliding-window
+structures assign stream positions (taus) and edge ids deterministically
+from arrival order, so replaying the same rounds reproduces the exact same
+state, coin flips included.
+
+Crash semantics follow the standard WAL contract:
+
+- a record is *durable* once its line is fully on disk (``fsync=True``
+  additionally forces it through the OS cache before ``append`` returns);
+- a *torn tail* -- a final line that is truncated or fails its CRC -- is
+  the signature of a crash mid-append; opening the log repairs it by
+  truncating back to the last good record.  A bad record anywhere *before*
+  the tail is real corruption and raises :class:`WalCorruption`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import zlib
+from dataclasses import dataclass
+from typing import Sequence
+
+WAL_SCHEMA = "repro.service/wal/v1"
+
+OP_INSERT = "i"
+OP_EXPIRE = "e"
+
+#: One op: ``("i", ((u, v[, w]), ...))`` or ``("e", delta)``.
+Op = tuple
+
+
+class WalCorruption(RuntimeError):
+    """A non-tail record failed to decode: the log is genuinely damaged."""
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable round: an LSN and its ordered op list."""
+
+    lsn: int
+    ops: tuple[Op, ...]
+
+
+def _canonical(lsn: int, ops: Sequence[Op]) -> str:
+    return json.dumps([lsn, [list(op) for op in _jsonable(ops)]], separators=(",", ":"))
+
+
+def _jsonable(ops: Sequence[Op]) -> list[list]:
+    out = []
+    for kind, payload in ops:
+        if kind == OP_INSERT:
+            out.append([kind, [list(e) for e in payload]])
+        elif kind == OP_EXPIRE:
+            out.append([kind, int(payload)])
+        else:
+            raise ValueError(f"unknown WAL op kind {kind!r}")
+    return out
+
+
+def encode_record(lsn: int, ops: Sequence[Op]) -> str:
+    """One WAL line (no trailing newline) for ``ops`` at ``lsn``."""
+    body = _canonical(lsn, ops)
+    crc = zlib.crc32(body.encode("utf-8"))
+    return json.dumps(
+        {"lsn": lsn, "ops": _jsonable(ops), "crc": crc}, separators=(",", ":")
+    )
+
+
+def decode_record(line: str) -> WalRecord | None:
+    """Parse one WAL line; ``None`` when the line is torn or corrupt."""
+    try:
+        doc = json.loads(line)
+        lsn = doc["lsn"]
+        ops_json = doc["ops"]
+        crc = doc["crc"]
+    except (ValueError, KeyError, TypeError):
+        return None
+    ops: list[Op] = []
+    for entry in ops_json:
+        if not isinstance(entry, list) or len(entry) != 2:
+            return None
+        kind, payload = entry
+        if kind == OP_INSERT:
+            ops.append((OP_INSERT, tuple(tuple(e) for e in payload)))
+        elif kind == OP_EXPIRE:
+            ops.append((OP_EXPIRE, int(payload)))
+        else:
+            return None
+    if zlib.crc32(_canonical(lsn, ops).encode("utf-8")) != crc:
+        return None
+    return WalRecord(lsn=int(lsn), ops=tuple(ops))
+
+
+def read_wal(path: str | pathlib.Path) -> tuple[list[WalRecord], int]:
+    """Read every durable record of the log at ``path``.
+
+    Returns ``(records, good_bytes)`` where ``good_bytes`` is the byte
+    length of the durable prefix -- everything past it is a torn tail from
+    a crash mid-append and is safe to truncate.  Raises
+    :class:`WalCorruption` when a record *before* the tail is damaged or
+    the LSN sequence has a gap (both mean the file was edited, not torn).
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return [], 0
+    raw = path.read_bytes()
+    records: list[WalRecord] = []
+    good = 0
+    expected_header = True
+    for line in raw.split(b"\n"):
+        end = good + len(line) + 1  # +1 for the newline
+        if not line:
+            good = min(end, len(raw))
+            continue
+        if expected_header:
+            try:
+                header = json.loads(line)
+            except ValueError:
+                header = None
+            if not isinstance(header, dict) or header.get("wal") != WAL_SCHEMA:
+                if end <= len(raw):
+                    raise WalCorruption(f"{path}: missing or bad WAL header")
+                return [], 0  # torn header: treat the whole file as empty
+            expected_header = False
+            good = end
+            continue
+        rec = decode_record(line.decode("utf-8", errors="replace"))
+        if rec is None:
+            if end <= len(raw):
+                raise WalCorruption(
+                    f"{path}: corrupt record after {len(records)} good records"
+                )
+            break  # torn tail (no trailing newline): stop at the durable prefix
+        if rec.lsn != len(records):
+            raise WalCorruption(
+                f"{path}: LSN gap, expected {len(records)} got {rec.lsn}"
+            )
+        records.append(rec)
+        good = min(end, len(raw))
+    return records, min(good, len(raw))
+
+
+class WriteAheadLog:
+    """Appendable WAL handle over one log file.
+
+    Opening an existing log scans it, repairs a torn tail (truncating to
+    the durable prefix), and resumes the LSN sequence; opening a fresh
+    path writes the schema header.  ``append`` is not thread-safe by
+    itself -- :class:`~repro.service.service.StreamService` serializes all
+    appends behind its single-writer lock.
+    """
+
+    def __init__(self, path: str | pathlib.Path, fsync: bool = False) -> None:
+        self.path = pathlib.Path(path)
+        self.fsync = fsync
+        records, good = read_wal(self.path)
+        if self.path.exists() and good < self.path.stat().st_size:
+            with self.path.open("r+b") as f:
+                f.truncate(good)
+        self._next_lsn = len(records)
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._f = self.path.open("a", encoding="utf-8")
+        if fresh:
+            self._f.write(json.dumps({"wal": WAL_SCHEMA}) + "\n")
+            self._f.flush()
+
+    @property
+    def next_lsn(self) -> int:
+        """The LSN the next :meth:`append` will be stamped with."""
+        return self._next_lsn
+
+    @property
+    def bytes_written(self) -> int:
+        """Current size of the log file in bytes."""
+        return self._f.tell() if not self._f.closed else self.path.stat().st_size
+
+    def append(self, ops: Sequence[Op]) -> int:
+        """Append one round; returns its LSN once the line is durable."""
+        if self._f.closed:
+            raise ValueError("write-ahead log is closed")
+        lsn = self._next_lsn
+        self._f.write(encode_record(lsn, ops) + "\n")
+        self._f.flush()
+        if self.fsync:
+            os.fsync(self._f.fileno())
+        self._next_lsn += 1
+        return lsn
+
+    def records(self) -> list[WalRecord]:
+        """Re-read every durable record from disk (used by recovery)."""
+        self._f.flush()
+        records, _ = read_wal(self.path)
+        return records
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if not self._f.closed:
+            self._f.flush()
+            self._f.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -61,6 +61,43 @@ def test_lint_ignores_non_python_and_fragments(tmp_path):
     assert mod.check_file(ok) == []
 
 
+def test_every_public_module_is_documented():
+    """The other direction of drift: no module may exist undocumented."""
+    mod = _load_check_docs()
+    assert mod.check_module_coverage(mod.default_targets()) == []
+
+
+def test_module_enumeration_shape(tmp_path):
+    mod = _load_check_docs()
+    pkg = tmp_path / "repro"
+    (pkg / "sub").mkdir(parents=True)
+    (pkg / "_private").mkdir()
+    for p in [
+        pkg / "__init__.py",
+        pkg / "top.py",
+        pkg / "_hidden.py",
+        pkg / "sub" / "__init__.py",
+        pkg / "sub" / "leaf.py",
+        pkg / "_private" / "__init__.py",
+        pkg / "_private" / "inner.py",
+    ]:
+        p.write_text("")
+    assert mod.public_modules(tmp_path) == [
+        "repro.sub",
+        "repro.sub.leaf",
+        "repro.top",
+    ]
+
+
+def test_coverage_flags_missing_module(tmp_path):
+    mod = _load_check_docs()
+    page = tmp_path / "page.md"
+    page.write_text("mentions only `repro.core.batch_msf` here\n")
+    failures = mod.check_module_coverage([page])
+    assert any("repro.trees.forest" in f for f in failures)
+    assert not any("repro.core.batch_msf" in f for f in failures)
+
+
 @pytest.mark.parametrize("module", ["repro.runtime.cost", "repro.runtime.scheduler"])
 def test_runtime_doctests_pass(module):
     """The docstring examples actually run and pass."""

@@ -12,7 +12,7 @@ EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 CASES = {
     "quickstart.py": ["total weight now", "compressed path tree", "work ="],
     "social_stream_monitoring.py": ["communities", "bipartite"],
-    "network_telemetry.py": ["backbone cost", "certificate"],
+    "network_telemetry.py": ["backbone cost", "certificate", "agreed"],
     "sparsify_and_cut.py": ["sparsifier:", "global min cut"],
     "fleet_dispatch.py": ["route", "diameter", "O(lg n)"],
     "similarity_clustering.py": ["clusters", "dendrogram"],

@@ -1,12 +1,22 @@
-"""Failure injection: malformed batches must raise *before* mutating state.
+"""Failure injection: malformed batches must raise *before* mutating state,
+and a killed service apply loop must recover to the uninterrupted state.
 
 Every rejection path is followed by a full invariant check and a
 from-scratch snapshot comparison, proving the failed call was atomic.
+The service section kills the apply loop at *every* WAL offset, at every
+failpoint the commit sequence passes, on both RC-tree engines, and
+requires recovery + resume to answer queries identically to a run that
+never crashed.
 """
+
+import random
 
 import pytest
 
 from repro.core import BatchIncrementalMSF
+from repro.graphgen.streams import bursty_stream
+from repro.service import InjectedCrash, ServiceClosed, ServiceConfig, StreamService
+from repro.sliding_window import SWConnectivityEager
 from repro.trees import DynamicForest
 
 
@@ -124,3 +134,111 @@ class TestMSFRejections:
         with pytest.raises(KeyError):
             m.forget_edges([42])
         assert m.num_msf_edges == 1
+
+
+# ----------------------------------------------------------------------
+# Service crash recovery: kill the apply loop at every WAL offset
+# ----------------------------------------------------------------------
+
+SVC_N = 32
+SVC_SEED = 21
+SVC_ROUNDS = 6
+
+
+def _svc_stream():
+    rng = random.Random(SVC_SEED)
+    return bursty_stream(
+        SVC_N, rounds=SVC_ROUNDS, base_batch=4, burst_batch=12, window=24, rng=rng
+    )
+
+
+def _svc_config():
+    # One flush per round; snapshot cadence 2 so replay crosses checkpoints.
+    return ServiceConfig(flush_edges=10**9, snapshot_every=2)
+
+
+def _svc_fingerprint(sw):
+    return (
+        sw.num_components,
+        sorted(sw.forest_edges()),
+        sw._msf.forest.rc.snapshot(),
+        [
+            (u, v, sw.is_connected(u, v))
+            for u in range(SVC_N)
+            for v in range(u + 1, SVC_N)
+        ],
+    )
+
+
+@pytest.mark.parametrize("engine", ["object", "array"])
+class TestServiceCrashRecovery:
+    def _uninterrupted(self, engine):
+        sw = SWConnectivityEager(SVC_N, seed=SVC_SEED, engine=engine)
+        for b in _svc_stream():
+            sw.batch_insert(list(b.edges))
+            if b.expire:
+                sw.batch_expire(b.expire)
+        return sw
+
+    @pytest.mark.parametrize(
+        "point", ["before-wal-append", "after-wal-append", "mid-apply", "after-apply"]
+    )
+    def test_kill_at_every_wal_offset(self, tmp_path, engine, point):
+        expected = _svc_fingerprint(self._uninterrupted(engine))
+        stream = _svc_stream()
+
+        def factory():
+            return SWConnectivityEager(SVC_N, seed=SVC_SEED, engine=engine)
+
+        for crash_lsn in range(SVC_ROUNDS):
+            data_dir = tmp_path / f"{point}-{crash_lsn}"
+            svc = StreamService(factory(), data_dir=data_dir, config=_svc_config())
+            svc.failpoints[point] = lambda lsn, k=crash_lsn: lsn == k
+            died = False
+            for b in stream:
+                try:
+                    svc.submit(b)
+                    svc.flush()
+                except InjectedCrash:
+                    died = True
+                    break
+            assert died, (point, crash_lsn)
+            # The dead service behaves like a dead process.
+            with pytest.raises(ServiceClosed):
+                svc.submit_insert([(0, 1)])
+
+            svc2 = StreamService.open(data_dir, factory, config=_svc_config())
+            for b in stream[svc2.next_lsn :]:
+                svc2.submit(b)
+                svc2.flush()
+            svc2.close()
+            assert _svc_fingerprint(svc2.structure) == expected, (point, crash_lsn)
+
+    @pytest.mark.parametrize("point", ["before-snapshot", "after-snapshot"])
+    def test_kill_during_snapshot(self, tmp_path, engine, point):
+        expected = _svc_fingerprint(self._uninterrupted(engine))
+        stream = _svc_stream()
+
+        def factory():
+            return SWConnectivityEager(SVC_N, seed=SVC_SEED, engine=engine)
+
+        # With snapshot_every=2 the cadence fires at lsn 1, 3, 5.
+        crash_lsn = 3
+        data_dir = tmp_path / f"{point}-{crash_lsn}"
+        svc = StreamService(factory(), data_dir=data_dir, config=_svc_config())
+        svc.failpoints[point] = lambda lsn: lsn == crash_lsn
+        died = False
+        for b in stream:
+            try:
+                svc.submit(b)
+                svc.flush()
+            except InjectedCrash:
+                died = True
+                break
+        assert died
+        svc2 = StreamService.open(data_dir, factory, config=_svc_config())
+        for b in stream[svc2.next_lsn :]:
+            svc2.submit(b)
+            svc2.flush()
+        svc2.close()
+        assert _svc_fingerprint(svc2.structure) == expected
