@@ -112,12 +112,18 @@ def public_modules(src: pathlib.Path | None = None) -> list[str]:
 
 
 def check_module_coverage(paths: list[pathlib.Path]) -> list[str]:
-    """Failure messages for public modules no doc page mentions."""
+    """Failure messages for public modules no doc page mentions.
+
+    A mention must be the exact dotted name: ``repro.service.wal`` does
+    not cover the ``repro.service`` package, and a name embedded in a
+    longer identifier does not count.  A trailing sentence period is fine
+    (``see repro.service.``); a trailing ``.submodule`` is not.
+    """
     corpus = "\n".join(p.read_text() for p in paths if p.exists())
     return [
         f"undocumented module: {name} (not mentioned in any doc page)"
         for name in public_modules()
-        if name not in corpus
+        if not re.search(rf"(?<![\w.]){re.escape(name)}(?!\.?\w)", corpus)
     ]
 
 

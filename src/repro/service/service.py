@@ -182,6 +182,7 @@ class StreamService:
         self._thread: threading.Thread | None = None
         self._stop = False
         self._dead = False
+        self._error: BaseException | None = None
         self._closed = False
         self._rounds_applied = 0
         self._rounds_since_snapshot = 0
@@ -258,6 +259,12 @@ class StreamService:
         rows = tuple(tuple(e) for e in edges)
         if not rows:
             return
+        for i, row in enumerate(rows):
+            if len(row) not in (2, 3):
+                raise ValueError(
+                    f"edge row {i} has {len(row)} fields, expected "
+                    f"(u, v) or (u, v, w): {row!r}"
+                )
         self._enqueue(OP_INSERT, rows, items=len(rows))
         get_metrics().counter("service.edges_accepted").inc(len(rows))
 
@@ -389,37 +396,50 @@ class StreamService:
         t0 = time.perf_counter()
         lsn = self._next_lsn
         n_edges = sum(len(p) for k, p in ops if k == OP_INSERT)
-        self._fail("before-wal-append", lsn)
-        if self._wal is not None:
-            self._wal.append(ops)
-            get_metrics().gauge("service.wal_bytes").set(self._wal.bytes_written)
-        self._fail("after-wal-append", lsn)
-        with self.cost.phase("service-flush", items=n_edges):
-            applied = 0
-            for kind, payload in ops:
-                if kind == OP_INSERT:
-                    self.structure.batch_insert(payload)
-                else:
-                    self.structure.batch_expire(payload)
-                applied += 1
-                if applied == 1:
-                    self._fail("mid-apply", lsn)
-        self._next_lsn = lsn + 1
-        self._rounds_applied += 1
-        self._rounds_since_snapshot += 1
-        self._fail("after-apply", lsn)
+        try:
+            self._fail("before-wal-append", lsn)
+            if self._wal is not None:
+                self._wal.append(ops)
+                get_metrics().gauge("service.wal_bytes").set(
+                    self._wal.bytes_written
+                )
+            self._fail("after-wal-append", lsn)
+            with self.cost.phase("service-flush", items=n_edges):
+                applied = 0
+                for kind, payload in ops:
+                    if kind == OP_INSERT:
+                        self.structure.batch_insert(payload)
+                    else:
+                        self.structure.batch_expire(payload)
+                    applied += 1
+                    if applied == 1:
+                        self._fail("mid-apply", lsn)
+            self._next_lsn = lsn + 1
+            self._rounds_applied += 1
+            self._rounds_since_snapshot += 1
+            self._fail("after-apply", lsn)
 
-        if (
-            self._snapshots is not None
-            and self.config.snapshot_every
-            and self._rounds_since_snapshot >= self.config.snapshot_every
-        ):
-            self._fail("before-snapshot", lsn)
-            with self.cost.phase("service-snapshot"):
-                self._snapshots.save(self.structure, lsn)
-            self._rounds_since_snapshot = 0
-            get_metrics().counter("service.snapshots").inc()
-            self._fail("after-snapshot", lsn)
+            if (
+                self._snapshots is not None
+                and self.config.snapshot_every
+                and self._rounds_since_snapshot >= self.config.snapshot_every
+            ):
+                self._fail("before-snapshot", lsn)
+                with self.cost.phase("service-snapshot"):
+                    self._snapshots.save(self.structure, lsn)
+                self._rounds_since_snapshot = 0
+                get_metrics().counter("service.snapshots").inc()
+                self._fail("after-snapshot", lsn)
+        except Exception as exc:
+            # Any failure mid-commit (injected or real) leaves the WAL,
+            # structure, and counters possibly out of step; the only safe
+            # state is dead -- further traffic gets ServiceClosed and the
+            # on-disk log stays the source of truth for recovery.
+            self._dead = True
+            self._error = exc
+            if self._wal is not None:
+                self._wal.close()
+            raise
 
         wall = time.perf_counter() - t0
         self.flush_wall.append(wall)
@@ -433,9 +453,8 @@ class StreamService:
     def _fail(self, point: str, lsn: int) -> None:
         fn = self.failpoints.get(point)
         if fn is not None and fn(lsn):
-            self._dead = True
-            if self._wal is not None:
-                self._wal.close()
+            # _commit's except clause marks the service dead and closes
+            # the WAL, exactly as for a real (non-injected) failure.
             raise InjectedCrash(f"injected crash at {point!r}, lsn={lsn}")
 
     # ------------------------------------------------------------------
@@ -445,12 +464,13 @@ class StreamService:
     def start(self) -> "StreamService":
         """Start the background apply thread (deadline flushes); returns self."""
         self._check_alive()
-        if self._thread is None:
-            self._stop = False
-            self._thread = threading.Thread(
-                target=self._loop, name="repro-service-apply", daemon=True
-            )
-            self._thread.start()
+        with self._cond:  # two racing start()s must not spawn two loops
+            if self._thread is None:
+                self._stop = False
+                self._thread = threading.Thread(
+                    target=self._loop, name="repro-service-apply", daemon=True
+                )
+                self._thread.start()
         return self
 
     def _loop(self) -> None:
@@ -476,18 +496,24 @@ class StreamService:
                 self.flush()
             except (InjectedCrash, ServiceClosed):
                 return
+            except Exception as exc:  # flush already marked the service dead
+                self._dead = True
+                if self._error is None:
+                    self._error = exc
+                return
 
     def stop(self) -> None:
         """Stop the background thread, flushing what is pending first."""
-        t = self._thread
-        if t is None:
-            return
         with self._cond:
+            t = self._thread
+            if t is None:
+                return
             self._stop = True
             self._cond.notify_all()
         t.join()
-        self._thread = None
-        self._stop = False
+        with self._cond:
+            self._thread = None
+            self._stop = False
 
     def query(self, fn: Callable[[Any], Any]) -> Any:
         """Run ``fn(structure)`` serialized against the apply loop."""
@@ -517,7 +543,11 @@ class StreamService:
 
     def _check_alive(self) -> None:
         if self._dead:
-            raise ServiceClosed("service crashed; recover with StreamService.open()")
+            cause = self._error
+            msg = "service crashed; recover with StreamService.open()"
+            if cause is not None:
+                msg += f" (cause: {cause!r})"
+            raise ServiceClosed(msg) from cause
         if self._closed:
             raise ServiceClosed("service is closed")
 
@@ -551,6 +581,11 @@ class StreamService:
     def durable(self) -> bool:
         """Whether the service carries a WAL (was given a ``data_dir``)."""
         return self._wal is not None
+
+    @property
+    def error(self) -> BaseException | None:
+        """The exception that killed the service, or ``None`` while alive."""
+        return self._error
 
 
 @contextmanager

@@ -16,12 +16,14 @@ state, coin flips included.
 
 Crash semantics follow the standard WAL contract:
 
-- a record is *durable* once its line is fully on disk (``fsync=True``
-  additionally forces it through the OS cache before ``append`` returns);
-- a *torn tail* -- a final line that is truncated or fails its CRC -- is
-  the signature of a crash mid-append; opening the log repairs it by
-  truncating back to the last good record.  A bad record anywhere *before*
-  the tail is real corruption and raises :class:`WalCorruption`.
+- a record is *durable* once its line -- including the trailing newline --
+  is fully on disk (``fsync=True`` additionally forces it through the OS
+  cache before ``append`` returns);
+- a *torn tail* -- a final line that lacks its newline, even if its bytes
+  decode cleanly -- is the signature of a crash mid-append; opening the
+  log repairs it by truncating back to the last good record.  A bad
+  record anywhere *before* the tail (i.e. one whose newline is on disk)
+  is real corruption and raises :class:`WalCorruption`.
 """
 
 from __future__ import annotations
@@ -125,31 +127,34 @@ def read_wal(path: str | pathlib.Path) -> tuple[list[WalRecord], int]:
         if not line:
             good = min(end, len(raw))
             continue
+        if end > len(raw):
+            # The final line is missing its trailing newline, so the append
+            # that wrote it never finished -- even bytes that happen to
+            # decode cleanly are a torn tail, never durable.  (Counting
+            # them would let the reopened log append onto the same line,
+            # corrupting the next record.)
+            break
         if expected_header:
             try:
                 header = json.loads(line)
             except ValueError:
                 header = None
             if not isinstance(header, dict) or header.get("wal") != WAL_SCHEMA:
-                if end <= len(raw):
-                    raise WalCorruption(f"{path}: missing or bad WAL header")
-                return [], 0  # torn header: treat the whole file as empty
+                raise WalCorruption(f"{path}: missing or bad WAL header")
             expected_header = False
             good = end
             continue
         rec = decode_record(line.decode("utf-8", errors="replace"))
         if rec is None:
-            if end <= len(raw):
-                raise WalCorruption(
-                    f"{path}: corrupt record after {len(records)} good records"
-                )
-            break  # torn tail (no trailing newline): stop at the durable prefix
+            raise WalCorruption(
+                f"{path}: corrupt record after {len(records)} good records"
+            )
         if rec.lsn != len(records):
             raise WalCorruption(
                 f"{path}: LSN gap, expected {len(records)} got {rec.lsn}"
             )
         records.append(rec)
-        good = min(end, len(raw))
+        good = end
     return records, min(good, len(raw))
 
 

@@ -33,6 +33,16 @@ def make_sw(n=32, seed=9):
     return SWConnectivityEager(n, seed=seed)
 
 
+class _Exploding:
+    """A structure whose apply path always fails (not an injected crash)."""
+
+    def batch_insert(self, edges):
+        raise RuntimeError("boom")
+
+    def batch_expire(self, delta):
+        raise RuntimeError("boom")
+
+
 # ----------------------------------------------------------------------
 # WAL
 # ----------------------------------------------------------------------
@@ -78,6 +88,27 @@ class TestWal:
             wal.append([(OP_INSERT, ((1, 2),))])
         records, _ = read_wal(path)
         assert [r.lsn for r in records] == [0, 1]
+
+    def test_tail_missing_newline_is_torn(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with WriteAheadLog(path) as wal:
+            wal.append([(OP_INSERT, ((0, 1),))])
+            wal.append([(OP_INSERT, ((1, 2),))])
+        # Crash that persisted the final record's bytes but not its
+        # trailing newline: the bytes decode cleanly, yet the record must
+        # count as torn, or the next append would extend the same line.
+        raw = path.read_bytes()
+        assert raw.endswith(b"\n")
+        path.write_bytes(raw[:-1])
+        records, good = read_wal(path)
+        assert [r.lsn for r in records] == [0]
+        with WriteAheadLog(path) as wal:  # open truncates back to record 0
+            assert wal.next_lsn == 1
+            assert path.stat().st_size == good
+            wal.append([(OP_INSERT, ((2, 3),))])
+        records, _ = read_wal(path)  # the re-append round-trips cleanly
+        assert [r.lsn for r in records] == [0, 1]
+        assert records[1].ops == ((OP_INSERT, ((2, 3),)),)
 
     def test_mid_file_corruption_raises(self, tmp_path):
         path = tmp_path / "wal.jsonl"
@@ -217,6 +248,30 @@ class TestMicroBatching:
         svc.drain()
         assert svc.next_lsn == 1
 
+    def test_submit_insert_validates_arity(self):
+        svc = StreamService(make_sw(), config=ServiceConfig(flush_edges=10**9))
+        with pytest.raises(ValueError, match="edge row 1"):
+            svc.submit_insert([(0, 1), (1, 2, 3, 4)])
+        with pytest.raises(ValueError, match="edge row 0"):
+            svc.submit_insert([(7,)])
+        assert svc.queue_depth == 0  # nothing from a bad batch is enqueued
+
+    def test_unexpected_apply_error_kills_service(self, tmp_path):
+        svc = StreamService(
+            _Exploding(), data_dir=tmp_path, config=ServiceConfig(flush_edges=10**9)
+        )
+        svc.submit_insert([(0, 1)])
+        with pytest.raises(RuntimeError, match="boom"):
+            svc.flush()
+        assert isinstance(svc.error, RuntimeError)
+        with pytest.raises(ServiceClosed, match="boom"):  # no more traffic
+            svc.submit_insert([(1, 2)])
+        # The round hit the WAL before the apply blew up, so recovery
+        # against a healthy structure replays it.
+        recovered = StreamService.open(tmp_path, make_sw)
+        assert recovered.recovered_rounds == 1
+        recovered.close()
+
     def test_closed_service_rejects_traffic(self):
         svc = StreamService(make_sw())
         svc.close()
@@ -326,8 +381,10 @@ class TestThreadedLoop:
         svc.start()
         try:
             svc.submit_insert([(0, 1)])
+            # Wait on rounds_applied, not queue_depth: the queue empties
+            # at _take_pending, a few ms before the round finishes.
             deadline = time.monotonic() + 5.0
-            while svc.queue_depth and time.monotonic() < deadline:
+            while svc.rounds_applied < 1 and time.monotonic() < deadline:
                 time.sleep(0.005)
             assert svc.queue_depth == 0
             assert svc.rounds_applied >= 1
@@ -343,6 +400,28 @@ class TestThreadedLoop:
         svc.stop()  # must not wait the full 5s interval, and must drain
         assert svc.queue_depth == 0
         assert svc.structure.clock.t == 2
+        svc.close()
+
+    def test_loop_death_surfaces_cause_to_producers(self):
+        svc = StreamService(
+            _Exploding(), config=ServiceConfig(flush_edges=10**9, flush_interval=0.01)
+        )
+        svc.start()
+        svc.submit_insert([(0, 1)])
+        deadline = time.monotonic() + 5.0
+        while svc.error is None and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert isinstance(svc.error, RuntimeError)  # loop died, cause kept
+        with pytest.raises(ServiceClosed, match="boom"):
+            svc.submit_insert([(1, 2)])
+        svc.close()  # joins the dead thread cleanly
+
+    def test_start_is_idempotent(self):
+        svc = StreamService(make_sw(), config=ServiceConfig(flush_interval=0.01))
+        assert svc.start() is svc
+        t = svc._thread
+        svc.start()
+        assert svc._thread is t  # no second apply loop
         svc.close()
 
     def test_concurrent_producers_lose_nothing(self, tmp_path):
