@@ -18,12 +18,21 @@ optionally a write-ahead log; here in memory-only mode).  To show the
 service is a pure transport, every round is mirrored into *direct*
 twin structures and the answers are asserted identical.
 
+The survivability monitor goes one step further: it runs *replicated*
+(:class:`repro.replication.ReplicatedService` with a follower tailing
+the WAL), and its reads route through
+:class:`repro.service.QueryService` tagged with the round's LSN token --
+read-your-writes, so the planner never reports a certificate older than
+the measurements it just ingested.
+
 Run:  python examples/network_telemetry.py
 """
 
 import random
+import tempfile
 
-from repro.service import ServiceConfig, StreamService
+from repro.replication import ReplicatedService
+from repro.service import QueryService, ServiceConfig, StreamService
 from repro.sliding_window import SWApproxMSFWeight, SWCycleFree, SWKCertificate
 
 ROUTERS = 128
@@ -48,26 +57,35 @@ def measurement_batch(rng: random.Random, redundancy: float):
     return out
 
 
-def main() -> None:
+def run(data_dir: str) -> None:
     rng = random.Random(7)
 
-    def make_monitors():
+    def make_direct_monitors():
         return (
             SWApproxMSFWeight(ROUTERS, eps=EPS, max_weight=MAX_LATENCY, seed=1),
             SWCycleFree(ROUTERS, seed=2),
             SWKCertificate(ROUTERS, k=K, seed=3),
         )
 
-    # Production path: each monitor behind a streaming service (memory-only
-    # here; pass data_dir= for a WAL + snapshots).  flush_edges=64 lets the
-    # service coalesce a round's inserts before applying.
+    # Production path: the scalar monitors behind streaming services
+    # (memory-only here; pass data_dir= for a WAL + snapshots), and the
+    # survivability monitor replicated -- a WAL-tailing follower serves
+    # its reads, routed through QueryService with the write's LSN token.
     cfg = ServiceConfig(flush_edges=64)
-    services = [
-        StreamService(s, config=cfg) for s in make_monitors()
-    ]
-    backbone_svc, loops_svc, surviv_svc = services
+    backbone_svc = StreamService(
+        SWApproxMSFWeight(ROUTERS, eps=EPS, max_weight=MAX_LATENCY, seed=1),
+        config=cfg,
+    )
+    loops_svc = StreamService(SWCycleFree(ROUTERS, seed=2), config=cfg)
+    surviv_rs = ReplicatedService(
+        lambda: SWKCertificate(ROUTERS, k=K, seed=3),
+        data_dir,
+        config=cfg,
+        followers=1,
+    )
+    surviv_reads = QueryService(surviv_rs)
     # Reference path: the same monitors driven directly, no service.
-    backbone_d, loops_d, surviv_d = make_monitors()
+    backbone_d, loops_d, surviv_d = make_direct_monitors()
 
     live = 0
     print(f"{'round':>5} | {'window':>6} | {'~backbone cost':>14} | "
@@ -79,27 +97,33 @@ def main() -> None:
 
         backbone_svc.submit_insert(batch)
         loops_svc.submit_insert(pairs)
-        surviv_svc.submit_insert(pairs)
         backbone_d.batch_insert(batch)
         loops_d.batch_insert(pairs)
         surviv_d.batch_insert(pairs)
         live += len(batch)
-        if live > WINDOW:
-            expire = live - WINDOW
-            for svc in services:
-                svc.submit_expire(expire)
+        expire = max(0, live - WINDOW)
+        if expire:
+            backbone_svc.submit_expire(expire)
+            loops_svc.submit_expire(expire)
             backbone_d.batch_expire(expire)
             loops_d.batch_expire(expire)
             surviv_d.batch_expire(expire)
             live = WINDOW
-        for svc in services:
-            svc.flush()
+        backbone_svc.flush()
+        loops_svc.flush()
+        # One durable round on the replicated monitor; the returned LSN
+        # is this round's consistency token.
+        token = surviv_rs.write(pairs, expire=expire)
 
         cost = backbone_svc.query(lambda s: s.weight())
         loop = loops_svc.query(lambda s: s.has_cycle())
-        k_conn = surviv_svc.query(lambda s: s.is_k_connected())
+        # Read-your-writes: at_least=token means a replica may answer
+        # only after replaying the round just committed.
+        res = surviv_reads.run([("k_connected",)], at_least=token)
+        assert res.lsn > token, "replica answered before replaying our write"
+        (k_conn,) = res.answers
         # The service is a transport, not a transform: answers must match
-        # the direct path exactly.
+        # the direct path exactly -- including across replication.
         assert cost == backbone_d.weight()
         assert loop == loops_d.has_cycle()
         assert k_conn == surviv_d.is_k_connected()
@@ -109,14 +133,22 @@ def main() -> None:
             f"{str(loop):>5} | {str(k_conn):>12}"
         )
 
-    cert = surviv_svc.query(lambda s: s.make_certificate())
+    res = surviv_reads.run([("certificate",)], at_least=surviv_rs.primary.next_lsn - 1)
+    (cert,) = res.answers
     assert sorted(cert) == sorted(surviv_d.make_certificate())
-    for svc in services:
-        svc.close()
+    backbone_svc.close()
+    loops_svc.close()
+    surviv_rs.close()
     print(f"\nFinal {K}-certificate: {len(cert)} links "
           f"(<= {K * (ROUTERS - 1)} by Theorem 5.5) summarise the window's")
-    print("failure resilience; shipping it to the planner costs O(kn), not O(m).")
-    print("(service and direct paths agreed on every answer, every round)")
+    print("failure resilience; shipping it to the planner costs O(kn), not O(m);")
+    print(f"served by {res.replica} at lsn {res.lsn} under a read-your-writes token.")
+    print("(service, replica and direct paths agreed on every answer, every round)")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="telemetry-") as data_dir:
+        run(data_dir)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,263 @@
+"""Primary/follower orchestration: one writer, N replicas, failover.
+
+:class:`ReplicatedService` owns the ingesting primary (a
+:class:`~repro.service.service.StreamService`) and a set of
+:class:`~repro.replication.follower.Follower` replicas tailing its WAL.
+Replication is asynchronous: :meth:`write` returns as soon as the round
+is durable on the primary, and followers converge via :meth:`poll` (or
+the background threads of :meth:`start_replication`, whose poll phases
+are *staggered* so the least-lagged replica at any instant is much
+fresher than any single replica's polling interval -- the order-statistics
+effect the read benchmark measures).
+
+Failover (:meth:`promote`) is log-native:
+
+1. the chosen follower stops at its ``replayed_lsn`` ``R`` -- rounds the
+   old primary committed beyond ``R`` are *discarded* (the price of
+   asynchronous replication, exactly as in production systems);
+2. the WAL is reset to a fresh segment starting at ``R`` under epoch
+   ``e+1``, and checkpoints covering discarded rounds are deleted;
+3. every other follower is fenced with ``(R, e+1)``.
+
+The old primary object is deliberately **not** closed: it is now a
+*zombie* -- a process that lost the promotion but does not know it.  Its
+further appends land in its old segment under the stale epoch, and every
+reader (follower cursors, recovery scans) rejects them in favour of the
+new epoch's chain.  ``tests/test_replication.py`` drives exactly this
+split-brain scenario.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+from typing import Any, Callable, Sequence
+
+from repro.obs.metrics import get_metrics
+from repro.replication.follower import Follower
+from repro.service.service import ServiceConfig, StreamService
+
+
+class ReplicatedService:
+    """One ingesting primary plus N in-process read replicas.
+
+    Args:
+        factory: builds the empty structure (primary and every follower
+            call it; it must be deterministic).
+        data_dir: shared storage -- the primary's WAL and snapshots, and
+            the medium followers replicate from.
+        config: the primary's :class:`ServiceConfig`.
+        followers: how many replicas to attach immediately.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Any],
+        data_dir: str | pathlib.Path,
+        config: ServiceConfig | None = None,
+        followers: int = 0,
+    ) -> None:
+        self.factory = factory
+        self.data_dir = pathlib.Path(data_dir)
+        self.config = config if config is not None else ServiceConfig()
+        self.primary: StreamService = StreamService.open(
+            self.data_dir, factory, self.config
+        )
+        self.followers: list[Follower] = []
+        self._next_fid = 0
+        self._repl_threads: list[threading.Thread] = []
+        self._stop_repl = threading.Event()
+        for _ in range(followers):
+            self.add_follower()
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def add_follower(self) -> Follower:
+        """Attach one more replica (bootstraps from snapshot + WAL suffix)."""
+        f = Follower(self._next_fid, self.data_dir, self.factory)
+        self._next_fid += 1
+        self.followers.append(f)
+        get_metrics().gauge("replication.followers").set(len(self.followers))
+        return f
+
+    @property
+    def epoch(self) -> int:
+        """The current primary's fencing epoch."""
+        return self.primary.epoch
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def write(self, edges: Sequence[Sequence] = (), expire: int = 0) -> int:
+        """Commit one round on the primary; returns its LSN token.
+
+        The token feeds read-your-writes: a read tagged
+        ``at_least=<token>`` only answers once some replica has replayed
+        past it.  An empty write returns the newest committed LSN.
+        """
+        if edges:
+            self.primary.submit_insert(edges)
+        if expire:
+            self.primary.submit_expire(expire)
+        lsn = self.primary.flush()
+        return lsn if lsn >= 0 else self.primary.next_lsn - 1
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+
+    def poll(self) -> dict[int, int]:
+        """Catch every live follower up; returns ``{fid: replayed_lsn}``."""
+        out = {}
+        for f in self.followers:
+            if f.alive:
+                f.catch_up()
+            out[f.fid] = f.replayed_lsn
+        self._lag_gauges()
+        return out
+
+    def lag(self) -> dict[int, int]:
+        """Per-follower lag in rounds behind the primary's durable tip."""
+        tip = self.primary.next_lsn
+        return {f.fid: tip - f.replayed_lsn for f in self.followers}
+
+    def _lag_gauges(self) -> None:
+        lags = self.lag()
+        m = get_metrics()
+        for fid, lag in lags.items():
+            m.gauge(f"replication.lag.follower{fid}").set(lag)
+        if lags:
+            m.gauge("replication.lag.min").set(min(lags.values()))
+            m.gauge("replication.lag.max").set(max(lags.values()))
+
+    def start_replication(
+        self, interval: float = 0.002, max_records: int | None = None
+    ) -> None:
+        """Tail continuously on one background thread per follower.
+
+        Poll phases are staggered across followers (follower ``i`` starts
+        ``i/N`` of an interval late), so with N replicas *some* replica
+        finished a poll within ``interval / N`` of any instant -- the
+        least-lagged replica a read routes to is fresher than any single
+        replica could be.
+
+        ``max_records`` bounds how many rounds one poll ships: a
+        *replication budget* of ``max_records / interval`` rounds per
+        second per follower.  Under the budget a burst drains gradually
+        instead of monopolising the replica's lock (and, on a small
+        machine, the CPU) in one long replay; lag absorbs the backlog and
+        the gauges report it.
+        """
+        if self._repl_threads:
+            return
+        self._stop_repl.clear()
+        n = max(1, len(self.followers))
+        for i, f in enumerate(self.followers):
+            t = threading.Thread(
+                target=self._repl_loop,
+                args=(f, interval, (i / n) * interval, max_records),
+                name=f"repro-repl-f{f.fid}",
+                daemon=True,
+            )
+            t.start()
+            self._repl_threads.append(t)
+
+    def _repl_loop(
+        self,
+        f: Follower,
+        interval: float,
+        initial_delay: float,
+        max_records: int | None = None,
+    ) -> None:
+        if self._stop_repl.wait(initial_delay):
+            return
+        while not self._stop_repl.is_set():
+            if f.alive:
+                try:
+                    f.catch_up(max_records)
+                except Exception:  # killed/fenced mid-poll: retry next tick
+                    pass
+            self._lag_gauges()
+            self._stop_repl.wait(interval)
+
+    def stop_replication(self) -> None:
+        """Stop the background tailing threads (if running)."""
+        self._stop_repl.set()
+        for t in self._repl_threads:
+            t.join()
+        self._repl_threads.clear()
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+
+    def promote(
+        self, follower: Follower | int, catch_up: bool = True
+    ) -> StreamService:
+        """Make ``follower`` the new primary; returns the fenced zombie.
+
+        With ``catch_up`` (default) the follower first replays everything
+        durable, so nothing is lost; ``catch_up=False`` models promoting
+        during a primary outage -- rounds past the follower's
+        ``replayed_lsn`` are discarded from the timeline, and the old
+        primary's epoch is fenced so its appends (and checkpoints) from
+        here on are rejected everywhere.
+        """
+        f = (
+            follower
+            if isinstance(follower, Follower)
+            else next(g for g in self.followers if g.fid == follower)
+        )
+        if f not in self.followers:
+            raise ValueError(f"follower {f.fid} is not attached")
+        self.stop_replication()
+        if catch_up:
+            f.catch_up()
+        behind = [
+            g.fid
+            for g in self.followers
+            if g is not f and g.alive and g.replayed_lsn > f.replayed_lsn
+        ]
+        if behind:
+            raise ValueError(
+                f"follower {f.fid} (replayed {f.replayed_lsn}) is behind "
+                f"followers {behind}; promote the most caught-up replica"
+            )
+        adoption_lsn = f.replayed_lsn
+        new_epoch = self.primary.epoch + 1
+        zombie = self.primary
+        # The zombie stays open on purpose: split-brain means the loser
+        # keeps writing.  Fencing, not process death, protects the data.
+        self.followers.remove(f)
+        self.primary = StreamService.adopt(
+            f.structure,
+            self.data_dir,
+            lsn=adoption_lsn,
+            epoch=new_epoch,
+            config=self.config,
+        )
+        for g in self.followers:
+            g.fence(adoption_lsn, new_epoch)
+        m = get_metrics()
+        m.counter("replication.promotions").inc()
+        m.gauge("replication.epoch").set(new_epoch)
+        m.gauge("replication.followers").set(len(self.followers))
+        return zombie
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop replication threads and close the primary (idempotent)."""
+        self.stop_replication()
+        self.primary.close()
+
+    def __enter__(self) -> "ReplicatedService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -39,7 +39,7 @@ _SECTIONS = [
             "table1_sparsifier_quality",
         ],
     ),
-    ("Service layer", ["service_throughput"]),
+    ("Service layer", ["service_throughput", "replication_reads"]),
     (
         "Ablations",
         [
@@ -185,6 +185,39 @@ def render_trace(paths: list[pathlib.Path]) -> int:
     return status
 
 
+def render_wal(data_dir: pathlib.Path) -> int:
+    """Print one line summarising a service data directory's WAL."""
+    from repro.service.service import WAL_DIRNAME, WAL_FILENAME
+    from repro.service.wal import wal_summary
+
+    wal_dir = data_dir / WAL_DIRNAME
+    if not wal_dir.is_dir() and not (data_dir / WAL_FILENAME).exists():
+        print(f"{data_dir}: no WAL", file=sys.stderr)
+        return 1
+    if not wal_dir.is_dir():
+        # A legacy single-file layout: summarise it as one segment
+        # without migrating (read-only inspection must not mutate).
+        from repro.service.wal import read_wal
+
+        records, good = read_wal(data_dir / WAL_FILENAME)
+        s = {
+            "segments": 1,
+            "base_lsn": records[0].lsn if records else 0,
+            "next_lsn": (records[-1].lsn + 1) if records else 0,
+            "rounds": len(records),
+            "bytes": good,
+            "epoch": records[-1].epoch if records else 0,
+        }
+    else:
+        s = wal_summary(wal_dir)
+    print(
+        f"{data_dir}: {s['segments']} segment(s), "
+        f"lsn [{s['base_lsn']}, {s['next_lsn']}) "
+        f"({s['rounds']} rounds), {s['bytes']} bytes, epoch {s['epoch']}"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point: write ``REPORT.md``, or render traces with --trace."""
     parser = argparse.ArgumentParser(
@@ -200,6 +233,12 @@ def main(argv: list[str] | None = None) -> int:
         "instead of building REPORT.md",
     )
     parser.add_argument(
+        "--wal",
+        metavar="DATA_DIR",
+        help="print a one-line summary of a service data directory's "
+        "write-ahead log (segments, LSN range, bytes, epoch)",
+    )
+    parser.add_argument(
         "results",
         nargs="?",
         default="bench_results",
@@ -209,6 +248,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.trace:
         return render_trace([pathlib.Path(p) for p in args.trace])
+    if args.wal:
+        return render_wal(pathlib.Path(args.wal))
 
     results = pathlib.Path(args.results)
     if not results.is_dir():

@@ -5,12 +5,20 @@ concurrent producers, coalesces them into adaptive micro-batches (size-
 and deadline-triggered flushes keep batches large enough to amortize the
 per-batch ``lg(1 + n/l)`` factor), applies them behind a single-writer
 apply loop, and -- given a data directory -- makes every round durable
-via a write-ahead log plus periodic snapshots, recovering after a crash
-to a state whose query answers are byte-identical to an uninterrupted
-run.  See ``docs/service.md`` for the architecture and
+via a segmented write-ahead log plus periodic snapshots, recovering
+after a crash to a state whose query answers are byte-identical to an
+uninterrupted run.  :class:`~repro.service.query.QueryService` adds the
+consistent batch-read tier over :mod:`repro.replication` followers.  See
+``docs/service.md`` / ``docs/replication.md`` for the architecture and
 ``python -m repro.service.demo`` for a live walkthrough.
 """
 
+from repro.service.query import (
+    QueryService,
+    ReadResult,
+    StalenessExceeded,
+    UnsupportedQuery,
+)
 from repro.service.service import (
     FAILPOINTS,
     Backpressure,
@@ -19,14 +27,20 @@ from repro.service.service import (
     ServiceConfig,
     StreamService,
     apply_ops,
+    wal_directory,
 )
 from repro.service.snapshot import SNAPSHOT_SCHEMA, SnapshotStore
 from repro.service.wal import (
     WAL_SCHEMA,
+    SegmentedWal,
     WalCorruption,
+    WalCursor,
     WalRecord,
+    WalTruncated,
     WriteAheadLog,
     read_wal,
+    read_wal_dir,
+    wal_summary,
 )
 
 __all__ = [
@@ -37,11 +51,21 @@ __all__ = [
     "ServiceClosed",
     "FAILPOINTS",
     "apply_ops",
+    "wal_directory",
+    "QueryService",
+    "ReadResult",
+    "StalenessExceeded",
+    "UnsupportedQuery",
     "SnapshotStore",
     "SNAPSHOT_SCHEMA",
     "WriteAheadLog",
+    "SegmentedWal",
+    "WalCursor",
     "WalRecord",
     "WalCorruption",
+    "WalTruncated",
     "WAL_SCHEMA",
     "read_wal",
+    "read_wal_dir",
+    "wal_summary",
 ]

@@ -1,0 +1,312 @@
+"""Consistent batch reads over a replicated window structure.
+
+:class:`QueryService` is the read-side twin of the ingest path: clients
+submit *batches* of queries -- exactly the shape the paper's compressed
+path trees reward, since ``l`` path/connectivity queries against one CPT
+cost ``O(l lg(1 + n/l))`` total (Theorem 3.2) rather than ``l``
+independent ``O(lg n)`` searches -- and the service routes each batch to
+the **least-lagged live follower**, falling back to the primary when no
+replica can serve.
+
+Consistency is by LSN token.  Every ``ReplicatedService.write`` returns
+the LSN of its round; a read tagged ``at_least=lsn`` is answered only by
+a replica that has replayed *past* that round (read-your-writes).  When
+the best replica is behind, the ``on_lag`` policy decides:
+
+- ``"catch_up"`` (default): replay the missing rounds inline on the
+  chosen replica -- deterministic, ideal for tests and examples;
+- ``"wait"``: block until some replica catches up (the background
+  replication threads do the work), raising :class:`StalenessExceeded`
+  at ``wait_timeout`` -- the realistic server policy, used by the read
+  benchmark;
+- ``"redirect"``: answer from the primary (strongly consistent, but
+  contends with ingest -- the degenerate mode the follower tier exists
+  to avoid).
+
+``max_staleness=k`` is the inverse escape hatch: a *bounded-staleness*
+read that any replica within ``k`` rounds of the primary's durable tip
+may answer, regardless of tokens.
+
+Query batches are lists of tuples::
+
+    ("connected", u, v)     window connectivity (batched via one CPT)
+    ("path_max", u, v)      heaviest (weight, eid) on the tree path
+    ("components",)         number of connected components
+    ("weight",)             (approximate) MSF weight
+    ("certificate",)        k-connectivity certificate edge set
+    ("k_connected",)        whether the window graph is k-connected
+    ("lower_bound",)        certified connectivity lower bound
+    ("has_cycle",)          cycle-freeness monitor
+    ("is_bipartite",)       bipartiteness monitor
+    ("window_size",)        unexpired stream items
+
+A query the served structure cannot answer raises
+:class:`UnsupportedQuery` (e.g. ``("components",)`` against the lazy
+Theorem 5.1 structure, which does not track them).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.obs.metrics import get_metrics
+from repro.runtime.cost import CostModel
+
+
+#: Returned by a replica's non-blocking ``try_query`` when its lock is
+#: held (a replay in progress).  Defined here -- the service layer -- so
+#: both the router and :class:`repro.replication.follower.Follower` can
+#: share it without the service package importing the replication one.
+BUSY = object()
+
+
+class UnsupportedQuery(ValueError):
+    """The served structure has no method answering this query kind."""
+
+
+class StalenessExceeded(RuntimeError):
+    """No replica reached the required LSN within ``wait_timeout``."""
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """One answered batch.
+
+    Attributes:
+        answers: per-query answers, aligned with the submitted batch.
+        lsn: rounds the serving replica had replayed at answer time
+            (its consistency point; ``>= at_least + 1`` when a token was
+            given).
+        replica: ``"follower<fid>"`` or ``"primary"``.
+    """
+
+    answers: list
+    lsn: int
+    replica: str
+
+
+#: ``kind -> (attribute, is_property)`` for the zero-argument queries.
+_SCALAR_QUERIES = {
+    "components": ("num_components", True),
+    "weight": ("weight", False),
+    "certificate": ("make_certificate", False),
+    "k_connected": ("is_k_connected", False),
+    "lower_bound": ("connectivity_lower_bound", False),
+    "has_cycle": ("has_cycle", False),
+    "is_bipartite": ("is_bipartite", False),
+    "window_size": ("window_size", True),
+}
+
+
+def answer_queries(structure: Any, queries: Sequence[tuple]) -> list:
+    """Answer one batch against ``structure`` directly (no routing).
+
+    Groups the pair queries so all ``connected`` (and all ``path_max``)
+    entries share a single CPT build via the structure's batched entry
+    points when it has them.
+    """
+    answers: list = [None] * len(queries)
+    connected: list[tuple[int, int, int]] = []
+    path_max: list[tuple[int, int, int]] = []
+    cost = getattr(structure, "cost", None)
+    charge = cost if cost is not None else CostModel(enabled=False)
+    with charge.phase("query-read", items=len(queries)):
+        for i, q in enumerate(queries):
+            kind = q[0]
+            if kind == "connected":
+                connected.append((i, int(q[1]), int(q[2])))
+            elif kind == "path_max":
+                path_max.append((i, int(q[1]), int(q[2])))
+            elif kind in _SCALAR_QUERIES:
+                attr, is_prop = _SCALAR_QUERIES[kind]
+                target = getattr(structure, attr, None)
+                if target is None:
+                    raise UnsupportedQuery(
+                        f"{type(structure).__name__} cannot answer {kind!r}"
+                    )
+                answers[i] = target if is_prop else target()
+            else:
+                raise UnsupportedQuery(f"unknown query kind {kind!r}")
+        if connected:
+            batch = getattr(structure, "batch_is_connected", None)
+            if batch is not None:
+                results = batch([(u, v) for _, u, v in connected])
+            else:
+                single = getattr(structure, "is_connected", None)
+                if single is None:
+                    raise UnsupportedQuery(
+                        f"{type(structure).__name__} cannot answer 'connected'"
+                    )
+                results = [single(u, v) for _, u, v in connected]
+            for (i, _, _), r in zip(connected, results):
+                answers[i] = r
+        if path_max:
+            batch = getattr(structure, "batch_heaviest_edges", None)
+            if batch is not None:
+                results = batch([(u, v) for _, u, v in path_max])
+            else:
+                single = getattr(structure, "heaviest_edge", None)
+                if single is None:
+                    raise UnsupportedQuery(
+                        f"{type(structure).__name__} cannot answer 'path_max'"
+                    )
+                results = [single(u, v) for _, u, v in path_max]
+            for (i, _, _), r in zip(path_max, results):
+                answers[i] = r
+    return answers
+
+
+class QueryService:
+    """Routes read batches across a :class:`ReplicatedService`'s replicas.
+
+    Args:
+        service: the :class:`~repro.replication.replicated.ReplicatedService`
+            to read from (duck-typed: needs ``primary``, ``followers``).
+        on_lag: the behind-token policy -- ``"catch_up"``, ``"wait"``, or
+            ``"redirect"`` (see module docstring).
+        wait_timeout: seconds :class:`StalenessExceeded` fires after in
+            ``"wait"`` mode.
+        poll_interval: sleep between re-checks while waiting (sleeping
+            releases the GIL, letting replication threads replay).
+        spread_lag: how many rounds behind the freshest replica a replica
+            may be and still serve reads (default 1).  Reads round-robin
+            across every replica inside the band (that also satisfies the
+            request's token), trading staleness -- never beyond the
+            band or below the token -- for read spreading.
+    """
+
+    def __init__(
+        self,
+        service: Any,
+        *,
+        on_lag: str = "catch_up",
+        wait_timeout: float = 5.0,
+        poll_interval: float = 0.0005,
+        spread_lag: int = 1,
+    ) -> None:
+        if on_lag not in ("catch_up", "wait", "redirect"):
+            raise ValueError(f"unknown on_lag policy {on_lag!r}")
+        if spread_lag < 0:
+            raise ValueError("spread_lag must be >= 0")
+        self.service = service
+        self.on_lag = on_lag
+        self.wait_timeout = wait_timeout
+        self.poll_interval = poll_interval
+        self.spread_lag = spread_lag
+        self._rr = 0  # round-robin tie-break among least-lagged replicas
+
+    def run(
+        self,
+        queries: Sequence[tuple],
+        at_least: int | None = None,
+        max_staleness: int | None = None,
+    ) -> ReadResult:
+        """Answer one batch under the requested consistency level.
+
+        ``at_least=lsn`` demands the round committed as ``lsn`` be
+        replayed (pass a :meth:`ReplicatedService.write` token for
+        read-your-writes).  ``max_staleness=k`` demands the serving
+        replica be within ``k`` rounds of the primary's durable tip.
+        """
+        queries = [tuple(q) for q in queries]
+        t0 = time.perf_counter()
+        required = 0 if at_least is None else at_least + 1
+        if max_staleness is not None:
+            if max_staleness < 0:
+                raise ValueError("max_staleness must be >= 0")
+            required = max(
+                required, self.service.primary.next_lsn - max_staleness
+            )
+        m = get_metrics()
+        answers, lsn, replica = self._route(queries, required)
+        wall = time.perf_counter() - t0
+        m.counter("query.batches").inc()
+        m.counter("query.reads").inc(len(queries))
+        m.histogram("query.batch_size").observe(len(queries))
+        m.histogram("query.latency_ms").observe(wall * 1e3)
+        return ReadResult(answers=answers, lsn=lsn, replica=replica)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _route(
+        self, queries: Sequence[tuple], required: int
+    ) -> tuple[list, int, str]:
+        m = get_metrics()
+        live = [f for f in self.service.followers if f.alive]
+        if not live:
+            return self._read_primary(queries)
+        tip = max(f.replayed_lsn for f in live)
+        # Least-lagged routing, spread round-robin across the replicas
+        # within ``spread_lag`` rounds of the freshest (and satisfying the
+        # token): concurrent readers then fan out over near-tied replicas
+        # instead of serializing on one replica's lock, at a bounded
+        # staleness cost beyond the best available.
+        floor = max(required, tip - self.spread_lag)
+        near = [f for f in live if f.replayed_lsn >= floor]
+        if near:
+            # Busy avoidance: starting at the round-robin offset, take the
+            # first in-band replica whose lock is free (one mid-replay
+            # does not stall the read); fall back to blocking on the
+            # round-robin choice if every replica is busy.
+            self._rr += 1
+            order = [near[(self._rr + i) % len(near)] for i in range(len(near))]
+            for f in order:
+                res = f.try_query(lambda s: answer_queries(s, queries))
+                if res is not BUSY:
+                    lag = self.service.primary.next_lsn - f.replayed_lsn
+                    m.histogram("query.lag_rounds").observe(lag)
+                    return res, f.replayed_lsn, f"follower{f.fid}"
+            best = order[0]
+        else:
+            best = max(live, key=lambda f: f.replayed_lsn)
+        if best.replayed_lsn < required:
+            if self.on_lag == "catch_up":
+                m.counter("query.catch_ups").inc()
+                best.catch_up()
+                if best.replayed_lsn < required:
+                    # The round is not durable yet (bad token) or the
+                    # replica is fenced below it; the primary still holds
+                    # the authoritative state.
+                    return self._read_primary(queries)
+            elif self.on_lag == "wait":
+                best = self._wait_for(required)
+            else:  # redirect
+                return self._read_primary(queries)
+        lag = self.service.primary.next_lsn - best.replayed_lsn
+        m.histogram("query.lag_rounds").observe(lag)
+        return (
+            best.query(lambda s: answer_queries(s, queries)),
+            best.replayed_lsn,
+            f"follower{best.fid}",
+        )
+
+    def _wait_for(self, required: int):
+        m = get_metrics()
+        m.counter("query.waits").inc()
+        deadline = time.monotonic() + self.wait_timeout
+        while True:
+            live = [f for f in self.service.followers if f.alive]
+            ready = [f for f in live if f.replayed_lsn >= required]
+            if ready:
+                return max(ready, key=lambda f: f.replayed_lsn)
+            if time.monotonic() >= deadline:
+                tip = max(
+                    (f.replayed_lsn for f in live), default=0
+                )
+                raise StalenessExceeded(
+                    f"no replica reached lsn {required} within "
+                    f"{self.wait_timeout}s (best: {tip})"
+                )
+            time.sleep(self.poll_interval)
+
+    def _read_primary(
+        self, queries: Sequence[tuple]
+    ) -> tuple[list, int, str]:
+        get_metrics().counter("query.redirects").inc()
+        primary = self.service.primary
+        answers = primary.query(lambda s: answer_queries(s, queries))
+        return answers, primary.next_lsn, "primary"

@@ -39,6 +39,7 @@ dead process).  Points, in commit order: ``before-wal-append``,
 
 from __future__ import annotations
 
+import os
 import pathlib
 import threading
 import time
@@ -49,10 +50,37 @@ from typing import Any, Callable, Iterator, Sequence
 from repro.obs.metrics import get_metrics
 from repro.runtime.cost import CostModel
 from repro.service.snapshot import SnapshotStore
-from repro.service.wal import OP_EXPIRE, OP_INSERT, Op, WriteAheadLog, read_wal
+from repro.service.wal import (
+    OP_EXPIRE,
+    OP_INSERT,
+    Op,
+    SegmentedWal,
+    list_segments,
+    read_wal_dir,
+)
 
+#: Pre-replication single-file WAL name; migrated into ``wal/`` on open.
 WAL_FILENAME = "wal.jsonl"
+WAL_DIRNAME = "wal"
 SNAPSHOT_DIRNAME = "snapshots"
+
+
+def wal_directory(data_dir: str | pathlib.Path) -> pathlib.Path:
+    """The segmented-WAL directory of a service ``data_dir``, migrating a
+    legacy single-file ``wal.jsonl`` into it (as segment 0) if present."""
+    data_dir = pathlib.Path(data_dir)
+    wal_dir = data_dir / WAL_DIRNAME
+    legacy = data_dir / WAL_FILENAME
+    if legacy.exists():
+        wal_dir.mkdir(parents=True, exist_ok=True)
+        target = wal_dir / "wal-000000000000-000000.jsonl"
+        if target.exists():
+            raise ValueError(
+                f"{data_dir} holds both a legacy {WAL_FILENAME} and a "
+                f"migrated segment; remove one"
+            )
+        os.replace(legacy, target)
+    return wal_dir
 
 #: Failpoint names, in the order the apply loop passes them per round.
 FAILPOINTS = (
@@ -152,12 +180,14 @@ class StreamService:
         cost = getattr(structure, "cost", None)
         self.cost: CostModel = cost if cost is not None else CostModel()
 
-        self._wal: WriteAheadLog | None = None
+        self._wal: SegmentedWal | None = None
         self._snapshots: SnapshotStore | None = None
-        if data_dir is not None:
-            data_dir = pathlib.Path(data_dir)
-            self._wal = WriteAheadLog(
-                data_dir / WAL_FILENAME, fsync=self.config.fsync
+        self.data_dir = (
+            pathlib.Path(data_dir) if data_dir is not None else None
+        )
+        if self.data_dir is not None:
+            self._wal = SegmentedWal(
+                wal_directory(self.data_dir), fsync=self.config.fsync
             )
             if self._wal.next_lsn and not _resume:
                 self._wal.close()
@@ -166,11 +196,12 @@ class StreamService:
                     "use StreamService.open() to recover them"
                 )
             self._snapshots = SnapshotStore(
-                data_dir / SNAPSHOT_DIRNAME,
+                self.data_dir / SNAPSHOT_DIRNAME,
                 retain=self.config.retain_snapshots,
                 fsync=self.config.fsync,
             )
         self._next_lsn = self._wal.next_lsn if self._wal else 0
+        self._epoch = self._wal.epoch if self._wal else 0
 
         # Pending micro-batch: ordered ops, same-kind neighbours coalesced.
         self._pending: list[list] = []  # [kind, payload] with mutable payload
@@ -220,12 +251,32 @@ class StreamService:
             retain=cfg.retain_snapshots,
             fsync=cfg.fsync,
         )
-        snap = store.load_latest()
+        wal_dir = wal_directory(data_dir)
+        records, base = read_wal_dir(wal_dir)
+        fences = [(s.start, s.epoch) for s in list_segments(wal_dir)]
+
+        def _covers(lsn: int, epoch: int) -> bool:
+            # A checkpoint is trustworthy iff the round it claims to end
+            # at sits on the *winning* WAL chain under the same epoch --
+            # anything else was taken by a fenced ex-primary after losing
+            # a promotion (its state includes discarded rounds).
+            if any(fe > epoch and lsn >= fs for fs, fe in fences):
+                return False  # fenced: a newer epoch owns rounds <= lsn
+            if lsn < base:
+                return True  # predates the retained log; nothing to check
+            i = lsn - base
+            return i < len(records) and records[i].epoch == epoch
+
+        snap = store.load_latest(valid=_covers)
         if snap is None:
             applied_lsn, structure = -1, factory()
         else:
             applied_lsn, structure = snap
-        records, _ = read_wal(data_dir / WAL_FILENAME)
+        if applied_lsn + 1 < base:
+            raise ValueError(
+                f"{data_dir}: no loadable snapshot covers rounds up to the "
+                f"WAL base {base}; cannot recover"
+            )
         cost = getattr(structure, "cost", None)
         recovered = 0
         if cost is not None:
@@ -243,6 +294,35 @@ class StreamService:
         svc = cls(structure, data_dir=data_dir, config=cfg, _resume=True)
         svc.recovered_rounds = recovered
         get_metrics().counter("service.recovered_rounds").inc(recovered)
+        return svc
+
+    @classmethod
+    def adopt(
+        cls,
+        structure: Any,
+        data_dir: str | pathlib.Path,
+        *,
+        lsn: int,
+        epoch: int,
+        config: ServiceConfig | None = None,
+    ) -> "StreamService":
+        """Take over ``data_dir`` as the *new primary* at round ``lsn``.
+
+        The promotion primitive of :mod:`repro.replication`:
+        ``structure`` (a promoted follower's state, rounds ``0..lsn-1``
+        applied) becomes the service's structure, the WAL is reset to a
+        fresh segment starting at ``lsn`` under the strictly newer
+        ``epoch`` -- fencing any appends the old primary makes afterwards
+        -- and checkpoints covering discarded rounds are deleted so a
+        later recovery cannot resurrect them.
+        """
+        svc = cls(structure, data_dir=data_dir, config=config, _resume=True)
+        assert svc._wal is not None and svc._snapshots is not None
+        svc._wal.reset_to(lsn, epoch)
+        svc._snapshots.drop_from(lsn)
+        svc._next_lsn = lsn
+        svc._epoch = epoch
+        get_metrics().counter("service.promotions").inc()
         return svc
 
     # ------------------------------------------------------------------
@@ -399,7 +479,7 @@ class StreamService:
         try:
             self._fail("before-wal-append", lsn)
             if self._wal is not None:
-                self._wal.append(ops)
+                self._wal.append(ops, epoch=self._epoch)
                 get_metrics().gauge("service.wal_bytes").set(
                     self._wal.bytes_written
                 )
@@ -425,11 +505,38 @@ class StreamService:
                 and self._rounds_since_snapshot >= self.config.snapshot_every
             ):
                 self._fail("before-snapshot", lsn)
+                # A fenced writer (it lost a promotion; a newer-epoch WAL
+                # segment exists) may still checkpoint -- recovery rejects
+                # its checkpoints by epoch -- but must not prune, rotate,
+                # or truncate: that would destroy the shared prefix the
+                # winning timeline recovers from.
+                fenced = self._wal is not None and self._wal.is_fenced
                 with self.cost.phase("service-snapshot"):
-                    self._snapshots.save(self.structure, lsn)
+                    self._snapshots.save(
+                        self.structure, lsn, epoch=self._epoch,
+                        prune=not fenced,
+                    )
                 self._rounds_since_snapshot = 0
                 get_metrics().counter("service.snapshots").inc()
                 self._fail("after-snapshot", lsn)
+                if fenced:
+                    get_metrics().counter(
+                        "service.fenced_retention_skips"
+                    ).inc()
+                elif self._wal is not None:
+                    # Bound WAL growth: rounds up to the *oldest retained*
+                    # checkpoint can never be replayed again (load_latest
+                    # falls back at most that far), so seal the current
+                    # segment and drop wholly dead ones.
+                    self._wal.rotate()
+                    oldest = self._snapshots.lsns()[0]
+                    dropped = self._wal.truncate_before(oldest + 1)
+                    m = get_metrics()
+                    m.counter("service.wal_rotations").inc()
+                    if dropped:
+                        m.counter("service.wal_segments_truncated").inc(
+                            dropped
+                        )
         except Exception as exc:
             # Any failure mid-commit (injected or real) leaves the WAL,
             # structure, and counters possibly out of step; the only safe
@@ -565,6 +672,17 @@ class StreamService:
     def next_lsn(self) -> int:
         """LSN the next committed round will carry (== durable rounds)."""
         return self._next_lsn
+
+    @property
+    def epoch(self) -> int:
+        """The fencing epoch stamped into every WAL record this service
+        appends (bumped only by promotion; see :mod:`repro.replication`)."""
+        return self._epoch
+
+    @property
+    def wal_dir(self) -> pathlib.Path | None:
+        """Directory of WAL segments followers tail (``None`` in-memory)."""
+        return self._wal.directory if self._wal is not None else None
 
     @property
     def rounds_applied(self) -> int:

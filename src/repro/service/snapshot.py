@@ -19,7 +19,9 @@ import os
 import pathlib
 import pickle
 import re
-from typing import Any
+from typing import Any, Callable
+
+from repro.service.wal import fsync_dir
 
 SNAPSHOT_SCHEMA = "repro.service/snapshot/v1"
 
@@ -58,26 +60,51 @@ class SnapshotStore:
                 out.append(int(m.group(1)))
         return sorted(out)
 
-    def save(self, structure: Any, lsn: int) -> pathlib.Path:
-        """Checkpoint ``structure`` as covering WAL rounds ``0..lsn``."""
+    def save(
+        self, structure: Any, lsn: int, epoch: int = 0, prune: bool = True
+    ) -> pathlib.Path:
+        """Checkpoint ``structure`` as covering WAL rounds ``0..lsn``.
+
+        ``epoch`` records the fencing epoch of round ``lsn``'s writer, so
+        recovery can reject a checkpoint taken by a fenced ex-primary
+        after its promotion (see :mod:`repro.replication`).  A fenced
+        ex-primary passes ``prune=False``: its checkpoints still land (and
+        are rejected at recovery), but it must not delete checkpoints the
+        winning timeline recovers from.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(lsn)
         tmp = path.with_suffix(".pkl.tmp")
-        payload = {"schema": SNAPSHOT_SCHEMA, "lsn": lsn, "structure": structure}
+        payload = {
+            "schema": SNAPSHOT_SCHEMA,
+            "lsn": lsn,
+            "epoch": epoch,
+            "structure": structure,
+        }
         with tmp.open("wb") as f:
             pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
             f.flush()
             if self.fsync:
                 os.fsync(f.fileno())
         os.replace(tmp, path)
-        self._prune()
+        if self.fsync:
+            # The rename published the checkpoint's *name*; only a
+            # directory fsync makes that entry survive a crash.
+            fsync_dir(self.directory)
+        if prune:
+            self._prune()
         return path
 
-    def load_latest(self) -> tuple[int, Any] | None:
+    def load_latest(
+        self, valid: Callable[[int, int], bool] | None = None
+    ) -> tuple[int, Any] | None:
         """The newest loadable checkpoint as ``(lsn, structure)``.
 
         Unreadable checkpoints are skipped (older ones are tried next);
-        returns ``None`` when no checkpoint can be loaded.
+        returns ``None`` when no checkpoint can be loaded.  ``valid`` is
+        an optional ``(lsn, epoch) -> bool`` acceptance predicate --
+        recovery uses it to skip checkpoints a fenced ex-primary took
+        after losing a promotion.
         """
         for lsn in reversed(self.lsns()):
             try:
@@ -85,11 +112,35 @@ class SnapshotStore:
                     payload = pickle.load(f)
                 if payload.get("schema") != SNAPSHOT_SCHEMA:
                     continue
+                epoch = int(payload.get("epoch", 0))
+                if valid is not None and not valid(int(payload["lsn"]), epoch):
+                    continue
                 return int(payload["lsn"]), payload["structure"]
             except (OSError, pickle.UnpicklingError, KeyError, EOFError,
                     AttributeError, ImportError, IndexError):
                 continue
         return None
+
+    def drop_from(self, lsn: int) -> int:
+        """Delete checkpoints covering rounds at or past ``lsn``.
+
+        The promotion primitive: when a follower is promoted at ``lsn``,
+        every checkpoint taken by the old primary for rounds ``>= lsn``
+        describes state the new timeline never reaches, so keeping it
+        would let a later recovery resurrect fenced writes.  Returns the
+        number of checkpoints removed.
+        """
+        removed = 0
+        for snap_lsn in self.lsns():
+            if snap_lsn >= lsn:
+                try:
+                    self._path(snap_lsn).unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+        if removed and self.fsync and self.directory.is_dir():
+            fsync_dir(self.directory)
+        return removed
 
     def _prune(self) -> None:
         for lsn in self.lsns()[: -self.retain]:

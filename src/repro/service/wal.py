@@ -1,11 +1,12 @@
 """Write-ahead edge log: the durability substrate of :mod:`repro.service`.
 
-The log is an append-only text file of one JSON record per line.  Each
+The log is an append-only text format of one JSON record per line.  Each
 record is one *round* -- the ordered op list of one micro-batch flush --
-stamped with a monotonically increasing log sequence number (LSN) and a
-CRC32 of its canonical serialization:
+stamped with a monotonically increasing log sequence number (LSN), the
+*epoch* of the primary that wrote it (see below), and a CRC32 of its
+canonical serialization:
 
-    {"lsn": 7, "ops": [["i", [[0, 1], [1, 2]]], ["e", 3]], "crc": 2923716406}
+    {"lsn": 7, "epoch": 0, "ops": [["i", [[0, 1]]], ["e", 3]], "crc": ...}
 
 Ops are ``["i", edges]`` (insert ``edges`` on the new side of the window)
 and ``["e", delta]`` (expire the ``delta`` oldest items).  Edges are stored
@@ -14,11 +15,39 @@ structures assign stream positions (taus) and edge ids deterministically
 from arrival order, so replaying the same rounds reproduces the exact same
 state, coin flips included.
 
+Segments
+--------
+
+Since the replication layer landed, the log is *segmented*: a directory of
+files ``wal-<start lsn>-<epoch>.jsonl``, each starting with a header line
+``{"wal": "repro.service/wal/v2", "start": <lsn>}`` followed by the
+records ``start, start+1, ...``.  :class:`SegmentedWal` appends to the
+newest segment, **rotates** to a fresh segment after every snapshot, and
+**truncates** segments that no retained snapshot needs -- followers
+bootstrap from snapshot + suffix, so the prefix is dead weight
+(``python -m repro.report --wal`` inspects a live directory).  The
+single-file :class:`WriteAheadLog` remains as the one-segment primitive.
+
+Epochs and fencing
+------------------
+
+``epoch`` is the primary-fencing token of :mod:`repro.replication`: a
+monotone counter bumped on every ``promote()``.  A promoted primary starts
+a new segment at its adoption LSN with the new epoch, so a *zombie*
+ex-primary that keeps appending (with its stale epoch) to the old segment
+creates two chains claiming the same LSNs.  Readers resolve the conflict
+in favour of the **highest epoch**: :func:`read_wal_dir` drops the stale
+suffix, and a tailing :class:`WalCursor` that has been fenced rejects
+stale-epoch records outright.  Two different writers appending the same
+LSN under the *same* epoch is real corruption, never repaired.
+
 Crash semantics follow the standard WAL contract:
 
 - a record is *durable* once its line -- including the trailing newline --
   is fully on disk (``fsync=True`` additionally forces it through the OS
-  cache before ``append`` returns);
+  cache before ``append`` returns, and fsyncs the directory whenever a
+  segment file is created or renamed, so the directory entry itself
+  survives a crash immediately after rotation);
 - a *torn tail* -- a final line that lacks its newline, even if its bytes
   decode cleanly -- is the signature of a crash mid-append; opening the
   log repairs it by truncating back to the last good record.  A bad
@@ -31,11 +60,14 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import re
 import zlib
 from dataclasses import dataclass
 from typing import Sequence
 
-WAL_SCHEMA = "repro.service/wal/v1"
+WAL_SCHEMA = "repro.service/wal/v2"
+#: The pre-replication schema (no epochs, single file); still readable.
+WAL_SCHEMA_V1 = "repro.service/wal/v1"
 
 OP_INSERT = "i"
 OP_EXPIRE = "e"
@@ -43,21 +75,64 @@ OP_EXPIRE = "e"
 #: One op: ``("i", ((u, v[, w]), ...))`` or ``("e", delta)``.
 Op = tuple
 
+_SEGMENT_RE = re.compile(r"^wal-(\d{12})-(\d{6})\.jsonl$")
+
 
 class WalCorruption(RuntimeError):
     """A non-tail record failed to decode: the log is genuinely damaged."""
 
 
+class WalTruncated(RuntimeError):
+    """The requested LSN precedes the oldest retained segment; the caller
+    must bootstrap from a snapshot instead of replaying the full log."""
+
+
 @dataclass(frozen=True)
 class WalRecord:
-    """One durable round: an LSN and its ordered op list."""
+    """One durable round: an LSN, the writer's epoch, and its op list."""
 
     lsn: int
     ops: tuple[Op, ...]
+    epoch: int = 0
 
 
-def _canonical(lsn: int, ops: Sequence[Op]) -> str:
-    return json.dumps([lsn, [list(op) for op in _jsonable(ops)]], separators=(",", ":"))
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One on-disk segment: its start LSN, writer epoch, path, and size."""
+
+    start: int
+    epoch: int
+    path: pathlib.Path
+
+    @property
+    def size(self) -> int:
+        """Current byte size of the segment file (0 if deleted)."""
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
+
+def fsync_dir(directory: str | pathlib.Path) -> None:
+    """fsync a directory so entries created/renamed in it are durable.
+
+    Creating a file makes its *bytes* durable only with an fsync of the
+    file; the *name* is durable only after the containing directory is
+    fsynced too -- a crash in between loses the directory entry (the
+    failure mode WAL rotation must not have).
+    """
+    fd = os.open(str(directory), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _canonical(lsn: int, ops: Sequence[Op], epoch: int | None) -> str:
+    body = [lsn, [list(op) for op in _jsonable(ops)]]
+    if epoch is not None:
+        body = [lsn, epoch, [list(op) for op in _jsonable(ops)]]
+    return json.dumps(body, separators=(",", ":"))
 
 
 def _jsonable(ops: Sequence[Op]) -> list[list]:
@@ -72,22 +147,28 @@ def _jsonable(ops: Sequence[Op]) -> list[list]:
     return out
 
 
-def encode_record(lsn: int, ops: Sequence[Op]) -> str:
+def encode_record(lsn: int, ops: Sequence[Op], epoch: int = 0) -> str:
     """One WAL line (no trailing newline) for ``ops`` at ``lsn``."""
-    body = _canonical(lsn, ops)
+    body = _canonical(lsn, ops, epoch)
     crc = zlib.crc32(body.encode("utf-8"))
     return json.dumps(
-        {"lsn": lsn, "ops": _jsonable(ops), "crc": crc}, separators=(",", ":")
+        {"lsn": lsn, "epoch": epoch, "ops": _jsonable(ops), "crc": crc},
+        separators=(",", ":"),
     )
 
 
 def decode_record(line: str) -> WalRecord | None:
-    """Parse one WAL line; ``None`` when the line is torn or corrupt."""
+    """Parse one WAL line; ``None`` when the line is torn or corrupt.
+
+    Accepts both v2 records (with an ``epoch`` field) and v1 records
+    (without; their epoch decodes as 0 and the CRC covers ``[lsn, ops]``).
+    """
     try:
         doc = json.loads(line)
         lsn = doc["lsn"]
         ops_json = doc["ops"]
         crc = doc["crc"]
+        epoch = doc.get("epoch")
     except (ValueError, KeyError, TypeError):
         return None
     ops: list[Op] = []
@@ -101,19 +182,36 @@ def decode_record(line: str) -> WalRecord | None:
             ops.append((OP_EXPIRE, int(payload)))
         else:
             return None
-    if zlib.crc32(_canonical(lsn, ops).encode("utf-8")) != crc:
+    if zlib.crc32(_canonical(lsn, ops, epoch).encode("utf-8")) != crc:
         return None
-    return WalRecord(lsn=int(lsn), ops=tuple(ops))
+    return WalRecord(lsn=int(lsn), ops=tuple(ops), epoch=int(epoch or 0))
+
+
+def _parse_header(line: bytes) -> int | None:
+    """The segment's start LSN, or ``None`` when the header is invalid."""
+    try:
+        header = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(header, dict):
+        return None
+    if header.get("wal") == WAL_SCHEMA_V1:
+        return 0
+    if header.get("wal") == WAL_SCHEMA:
+        start = header.get("start", 0)
+        return int(start) if isinstance(start, int) and start >= 0 else None
+    return None
 
 
 def read_wal(path: str | pathlib.Path) -> tuple[list[WalRecord], int]:
-    """Read every durable record of the log at ``path``.
+    """Read every durable record of the one-file log (segment) at ``path``.
 
     Returns ``(records, good_bytes)`` where ``good_bytes`` is the byte
     length of the durable prefix -- everything past it is a torn tail from
     a crash mid-append and is safe to truncate.  Raises
-    :class:`WalCorruption` when a record *before* the tail is damaged or
-    the LSN sequence has a gap (both mean the file was edited, not torn).
+    :class:`WalCorruption` when a record *before* the tail is damaged, the
+    LSN sequence has a gap, or epochs decrease (all mean the file was
+    edited, not torn).
     """
     path = pathlib.Path(path)
     if not path.exists():
@@ -121,7 +219,7 @@ def read_wal(path: str | pathlib.Path) -> tuple[list[WalRecord], int]:
     raw = path.read_bytes()
     records: list[WalRecord] = []
     good = 0
-    expected_header = True
+    start: int | None = None
     for line in raw.split(b"\n"):
         end = good + len(line) + 1  # +1 for the newline
         if not line:
@@ -134,14 +232,10 @@ def read_wal(path: str | pathlib.Path) -> tuple[list[WalRecord], int]:
             # them would let the reopened log append onto the same line,
             # corrupting the next record.)
             break
-        if expected_header:
-            try:
-                header = json.loads(line)
-            except ValueError:
-                header = None
-            if not isinstance(header, dict) or header.get("wal") != WAL_SCHEMA:
+        if start is None:
+            start = _parse_header(line)
+            if start is None:
                 raise WalCorruption(f"{path}: missing or bad WAL header")
-            expected_header = False
             good = end
             continue
         rec = decode_record(line.decode("utf-8", errors="replace"))
@@ -149,17 +243,107 @@ def read_wal(path: str | pathlib.Path) -> tuple[list[WalRecord], int]:
             raise WalCorruption(
                 f"{path}: corrupt record after {len(records)} good records"
             )
-        if rec.lsn != len(records):
+        if rec.lsn != start + len(records):
             raise WalCorruption(
-                f"{path}: LSN gap, expected {len(records)} got {rec.lsn}"
+                f"{path}: LSN gap, expected {start + len(records)} got {rec.lsn}"
+            )
+        if records and rec.epoch < records[-1].epoch:
+            raise WalCorruption(
+                f"{path}: epoch went backwards at lsn {rec.lsn} "
+                f"({records[-1].epoch} -> {rec.epoch})"
             )
         records.append(rec)
         good = end
     return records, min(good, len(raw))
 
 
+def list_segments(directory: str | pathlib.Path) -> list[SegmentInfo]:
+    """The WAL segments under ``directory``, sorted by (start, epoch)."""
+    directory = pathlib.Path(directory)
+    if not directory.is_dir():
+        return []
+    out = []
+    for p in directory.iterdir():
+        m = _SEGMENT_RE.match(p.name)
+        if m:
+            out.append(SegmentInfo(int(m.group(1)), int(m.group(2)), p))
+    return sorted(out, key=lambda s: (s.start, s.epoch))
+
+
+def read_wal_dir(
+    directory: str | pathlib.Path,
+) -> tuple[list[WalRecord], int]:
+    """The *winning* record chain across every segment of ``directory``.
+
+    Returns ``(records, base)`` where ``base`` is the LSN of the first
+    retained record (segments before it were truncated away).  Where two
+    segments claim the same LSNs -- the split-brain signature of a fenced
+    ex-primary that kept appending -- the chain with the **higher epoch**
+    wins and the stale suffix is dropped.  The mere *existence* of a
+    newer-epoch segment starting at LSN ``S`` fences every older-epoch
+    record at ``S`` onward, even before that segment holds any records (a
+    promotion is effective the instant its segment is durable).  An
+    overlap at *equal* epochs is :class:`WalCorruption` (two live writers
+    means fencing failed).
+    """
+    segs = list_segments(directory)
+    fences = [(s.start, s.epoch) for s in segs]
+
+    def _fenced(rec: WalRecord) -> bool:
+        return any(fe > rec.epoch and rec.lsn >= fs for fs, fe in fences)
+
+    chain: list[WalRecord] = []
+    base = segs[0].start if segs else 0
+    for seg in segs:
+        records = [r for r in read_wal(seg.path)[0] if not _fenced(r)]
+        if not records:
+            continue
+        first = records[0].lsn
+        tip = base + len(chain)
+        if first > tip:
+            raise WalCorruption(
+                f"{seg.path}: LSN gap between segments, expected {tip} "
+                f"got {first}"
+            )
+        if first < tip:
+            incumbent = chain[first - base]
+            if records[0].epoch > incumbent.epoch:
+                del chain[first - base :]  # stale suffix loses to new epoch
+            elif records[0].epoch < incumbent.epoch:
+                continue  # this whole segment is fenced-zombie garbage
+            else:
+                raise WalCorruption(
+                    f"{seg.path}: two writers claimed lsn {first} in "
+                    f"epoch {incumbent.epoch}"
+                )
+        if chain and records[0].epoch < chain[-1].epoch:
+            raise WalCorruption(
+                f"{seg.path}: epoch went backwards across segments at "
+                f"lsn {first}"
+            )
+        chain.extend(records)
+    return chain, base
+
+
+def read_records_from(
+    directory: str | pathlib.Path, start_lsn: int
+) -> list[WalRecord]:
+    """Winning records with ``lsn >= start_lsn`` (replication bootstrap).
+
+    Raises :class:`WalTruncated` when ``start_lsn`` precedes the oldest
+    retained segment -- the caller must restore a snapshot first.
+    """
+    chain, base = read_wal_dir(directory)
+    if start_lsn < base:
+        raise WalTruncated(
+            f"{directory}: lsn {start_lsn} precedes the oldest retained "
+            f"segment (base {base}); bootstrap from a snapshot"
+        )
+    return chain[start_lsn - base :]
+
+
 class WriteAheadLog:
-    """Appendable WAL handle over one log file.
+    """Appendable single-file WAL handle (one segment).
 
     Opening an existing log scans it, repairs a torn tail (truncating to
     the durable prefix), and resumes the LSN sequence; opening a fresh
@@ -168,20 +352,31 @@ class WriteAheadLog:
     appends behind its single-writer lock.
     """
 
-    def __init__(self, path: str | pathlib.Path, fsync: bool = False) -> None:
+    def __init__(
+        self, path: str | pathlib.Path, fsync: bool = False, start: int = 0
+    ) -> None:
         self.path = pathlib.Path(path)
         self.fsync = fsync
         records, good = read_wal(self.path)
         if self.path.exists() and good < self.path.stat().st_size:
             with self.path.open("r+b") as f:
                 f.truncate(good)
-        self._next_lsn = len(records)
+                if fsync:
+                    os.fsync(f.fileno())
+        self.start = records[0].lsn if records else start
+        self._next_lsn = self.start + len(records)
+        self._last_epoch = records[-1].epoch if records else 0
         fresh = not self.path.exists() or self.path.stat().st_size == 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._f = self.path.open("a", encoding="utf-8")
         if fresh:
-            self._f.write(json.dumps({"wal": WAL_SCHEMA}) + "\n")
+            self._f.write(
+                json.dumps({"wal": WAL_SCHEMA, "start": self.start}) + "\n"
+            )
             self._f.flush()
+            if fsync:
+                os.fsync(self._f.fileno())
+                fsync_dir(self.path.parent)
 
     @property
     def next_lsn(self) -> int:
@@ -189,20 +384,30 @@ class WriteAheadLog:
         return self._next_lsn
 
     @property
+    def last_epoch(self) -> int:
+        """Epoch of the newest durable record (0 for an empty log)."""
+        return self._last_epoch
+
+    @property
     def bytes_written(self) -> int:
         """Current size of the log file in bytes."""
         return self._f.tell() if not self._f.closed else self.path.stat().st_size
 
-    def append(self, ops: Sequence[Op]) -> int:
+    def append(self, ops: Sequence[Op], epoch: int = 0) -> int:
         """Append one round; returns its LSN once the line is durable."""
         if self._f.closed:
             raise ValueError("write-ahead log is closed")
+        if epoch < self._last_epoch:
+            raise ValueError(
+                f"epoch must be monotone: {self._last_epoch} -> {epoch}"
+            )
         lsn = self._next_lsn
-        self._f.write(encode_record(lsn, ops) + "\n")
+        self._f.write(encode_record(lsn, ops, epoch=epoch) + "\n")
         self._f.flush()
         if self.fsync:
             os.fsync(self._f.fileno())
         self._next_lsn += 1
+        self._last_epoch = epoch
         return lsn
 
     def records(self) -> list[WalRecord]:
@@ -222,3 +427,382 @@ class WriteAheadLog:
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+
+def _segment_path(
+    directory: pathlib.Path, start: int, epoch: int
+) -> pathlib.Path:
+    return directory / f"wal-{start:012d}-{epoch:06d}.jsonl"
+
+
+class SegmentedWal:
+    """A directory of WAL segments behaving as one appendable log.
+
+    Opening scans every segment, resolves epoch conflicts (highest epoch
+    wins -- see module docstring), repairs the winning tail segment's torn
+    tail, and resumes appending to it.  :meth:`rotate` seals the current
+    segment and starts the next (called by the service after each
+    snapshot); :meth:`truncate_before` deletes segments no retained
+    snapshot needs; :meth:`reset_to` is the promotion primitive -- it
+    abandons the inherited chain at an LSN and opens a fresh segment under
+    a new epoch, fencing whatever the old primary appends afterwards.
+    """
+
+    def __init__(
+        self, directory: str | pathlib.Path, fsync: bool = False, epoch: int = 0
+    ) -> None:
+        self.directory = pathlib.Path(directory)
+        self.fsync = fsync
+        self.directory.mkdir(parents=True, exist_ok=True)
+        chain, base = read_wal_dir(self.directory)
+        self._base = base
+        self._next_lsn = base + len(chain)
+        # Append to the segment that owns the chain tip: the one with the
+        # highest (epoch, start) at or below next_lsn.  An *empty*
+        # newer-epoch segment (a promotion that has not committed yet)
+        # counts -- appending must continue it, not a fenced predecessor.
+        candidates = [
+            s for s in list_segments(self.directory) if s.start <= self._next_lsn
+        ]
+        if candidates:
+            tip_seg = max(candidates, key=lambda s: (s.epoch, s.start))
+            self.epoch = max(
+                epoch, tip_seg.epoch, chain[-1].epoch if chain else 0
+            )
+            self._writer = WriteAheadLog(
+                tip_seg.path, fsync=fsync, start=tip_seg.start
+            )
+        else:
+            self.epoch = epoch
+            self._writer = WriteAheadLog(
+                _segment_path(self.directory, base, self.epoch),
+                fsync=fsync,
+                start=base,
+            )
+        if fsync:
+            fsync_dir(self.directory)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def next_lsn(self) -> int:
+        """The LSN the next :meth:`append` will be stamped with."""
+        return self._next_lsn
+
+    @property
+    def base_lsn(self) -> int:
+        """LSN of the oldest retained record (rises with truncation)."""
+        return self._base
+
+    @property
+    def bytes_written(self) -> int:
+        """Total bytes across all live segments."""
+        if not self._writer._f.closed:
+            self._writer._f.flush()
+        return sum(s.size for s in self.segments())
+
+    def segments(self) -> list[SegmentInfo]:
+        """The on-disk segments, sorted by (start, epoch)."""
+        return list_segments(self.directory)
+
+    @property
+    def is_fenced(self) -> bool:
+        """True when a newer-epoch segment exists: this writer lost a
+        promotion.  Appends still land (replay rejects them); destructive
+        retention (:meth:`rotate`, :meth:`truncate_before`) becomes a
+        no-op so a zombie cannot destroy the winner's shared prefix."""
+        return any(s.epoch > self.epoch for s in list_segments(self.directory))
+
+    # ------------------------------------------------------------------
+    # The appender
+    # ------------------------------------------------------------------
+
+    def append(self, ops: Sequence[Op], epoch: int | None = None) -> int:
+        """Append one round under ``epoch`` (default: the log's epoch)."""
+        epoch = self.epoch if epoch is None else epoch
+        if epoch < self.epoch:
+            raise ValueError(f"epoch must be monotone: {self.epoch} -> {epoch}")
+        lsn = self._writer.append(ops, epoch=epoch)
+        self.epoch = epoch
+        self._next_lsn = lsn + 1
+        return lsn
+
+    def rotate(self) -> pathlib.Path:
+        """Seal the current segment and start the next one at ``next_lsn``.
+
+        The new segment's directory entry is fsynced (under ``fsync=True``)
+        before the method returns, so a crash immediately after rotation
+        cannot lose it.  A fenced writer (see :attr:`is_fenced`) does not
+        rotate: the current segment stays open.
+        """
+        if self.is_fenced:
+            return self._writer.path
+        self._writer.close()
+        self._writer = WriteAheadLog(
+            _segment_path(self.directory, self._next_lsn, self.epoch),
+            fsync=self.fsync,
+            start=self._next_lsn,
+        )
+        if self.fsync:
+            fsync_dir(self.directory)
+        return self._writer.path
+
+    def reset_to(self, lsn: int, epoch: int) -> pathlib.Path:
+        """Adopt the log at ``lsn`` under a strictly newer ``epoch``.
+
+        The promotion primitive: the chain above ``lsn`` (committed by the
+        old primary but never replicated) is abandoned -- readers will
+        drop it in favour of the new epoch's records -- and appending
+        resumes in a fresh segment ``wal-<lsn>-<epoch>``.
+        """
+        if epoch <= self.epoch:
+            raise ValueError(
+                f"promotion needs a strictly newer epoch: {self.epoch} -> {epoch}"
+            )
+        if not (self._base <= lsn <= self._next_lsn):
+            raise ValueError(
+                f"adoption lsn {lsn} outside retained range "
+                f"[{self._base}, {self._next_lsn}]"
+            )
+        self._writer.close()
+        self.epoch = epoch
+        self._next_lsn = lsn
+        self._writer = WriteAheadLog(
+            _segment_path(self.directory, lsn, epoch), fsync=self.fsync, start=lsn
+        )
+        if self.fsync:
+            fsync_dir(self.directory)
+        return self._writer.path
+
+    def truncate_before(self, lsn: int) -> int:
+        """Delete segments wholly superseded below ``lsn``; returns count.
+
+        A segment is dead once a *winning-chain* successor segment starts
+        at or below ``lsn`` -- every record the dead segment contributes
+        is then both older than ``lsn`` and re-coverable from the
+        successor onward.  The active tail segment is never deleted, and
+        a fenced writer (see :attr:`is_fenced`) deletes nothing at all.
+        """
+        if self.is_fenced:
+            return 0
+        chain, base = read_wal_dir(self.directory)
+        if not chain:
+            return 0
+        # Contribution ranges: which LSNs each segment supplies to the
+        # winning chain (None for fenced/stale segments).
+        contrib: dict[pathlib.Path, tuple[int, int] | None] = {}
+        tip = base
+        for seg in self.segments():
+            records, _ = read_wal(seg.path)
+            if not records:
+                contrib[seg.path] = None
+                continue
+            lo = max(records[0].lsn, tip)
+            hi = records[-1].lsn
+            # A later, higher-epoch segment may shadow this one's suffix.
+            shadow = min(
+                (
+                    s.start
+                    for s in self.segments()
+                    if s.start >= lo and (s.start, s.epoch) > (seg.start, seg.epoch)
+                    and s.epoch > seg.epoch
+                ),
+                default=hi + 1,
+            )
+            hi = min(hi, shadow - 1)
+            contrib[seg.path] = (lo, hi) if lo <= hi else None
+            tip = max(tip, hi + 1)
+        removed = 0
+        for seg in self.segments():
+            if seg.path == self._writer.path:
+                continue
+            rng = contrib.get(seg.path)
+            if rng is None or rng[1] < lsn:
+                try:
+                    seg.path.unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+        if removed:
+            if self.fsync:
+                fsync_dir(self.directory)
+            live = self.segments()
+            self._base = live[0].start if live else self._next_lsn
+        return removed
+
+    def records(self, start_lsn: int | None = None) -> list[WalRecord]:
+        """Winning records from ``start_lsn`` (default: everything retained)."""
+        if not self._writer._f.closed:
+            self._writer._f.flush()
+        if start_lsn is None:
+            return read_wal_dir(self.directory)[0]
+        return read_records_from(self.directory, start_lsn)
+
+    def close(self) -> None:
+        """Flush and close the active segment (idempotent)."""
+        self._writer.close()
+
+    def __enter__(self) -> "SegmentedWal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class WalCursor:
+    """An incremental reader tailing a :class:`SegmentedWal` directory.
+
+    The replication shipper: a follower keeps one cursor positioned at its
+    ``replayed_lsn`` and calls :meth:`poll` to fetch newly durable rounds.
+    The cursor re-selects the segment to read on every poll -- preferring
+    the **highest epoch** whose start is at or below the next expected LSN
+    -- so it follows rotations and, after a promotion, abandons the old
+    primary's segment for the new epoch's.
+
+    Fencing: after :meth:`fence`, records at ``lsn >= fence_lsn`` whose
+    epoch is below ``fence_epoch`` are *rejected* (they are a zombie
+    primary's post-promotion appends); the cursor stops at the boundary
+    and reports the rejection instead of applying garbage.
+    """
+
+    def __init__(self, directory: str | pathlib.Path, next_lsn: int = 0) -> None:
+        self.directory = pathlib.Path(directory)
+        self.next_lsn = next_lsn
+        self._fence: tuple[int, int] = (0, 0)  # (lsn, min epoch from there)
+        self._seg: SegmentInfo | None = None
+        self._offset = 0
+        self.fenced_rejections = 0
+
+    def fence(self, lsn: int, epoch: int) -> None:
+        """Reject records at ``lsn`` onward with epoch below ``epoch``."""
+        self._fence = (lsn, epoch)
+        self._seg = None  # force re-selection away from a stale segment
+
+    def _select_segment(self) -> SegmentInfo | None:
+        candidates = [
+            s for s in list_segments(self.directory) if s.start <= self.next_lsn
+        ]
+        if not candidates:
+            if any(list_segments(self.directory)):
+                return None
+            return None
+        return max(candidates, key=lambda s: (s.epoch, s.start))
+
+    def _stale(self, rec: WalRecord) -> bool:
+        fence_lsn, fence_epoch = self._fence
+        return rec.lsn >= fence_lsn and rec.epoch < fence_epoch
+
+    def poll(self, max_records: int | None = None) -> list[WalRecord]:
+        """Newly durable records starting at ``next_lsn`` (may be empty).
+
+        Advances ``next_lsn`` past what it returns.  Raises
+        :class:`WalTruncated` when the position was truncated away (the
+        follower must re-bootstrap from a snapshot).
+        """
+        out: list[WalRecord] = []
+        while max_records is None or len(out) < max_records:
+            target = self._select_segment()
+            if target is None:
+                segs = list_segments(self.directory)
+                if segs and segs[0].start > self.next_lsn:
+                    raise WalTruncated(
+                        f"{self.directory}: lsn {self.next_lsn} precedes the "
+                        f"oldest retained segment (base {segs[0].start})"
+                    )
+                break
+            if self._seg is None or target.path != self._seg.path:
+                self._seg = target
+                self._offset = 0
+            got = self._poll_segment(max_records, out)
+            if not got:
+                break
+        return out
+
+    def _poll_segment(
+        self, max_records: int | None, out: list[WalRecord]
+    ) -> bool:
+        """Read new complete lines from the current segment; True if any
+        record was appended to ``out`` or the cursor switched segments."""
+        assert self._seg is not None
+        try:
+            with self._seg.path.open("rb") as f:
+                f.seek(self._offset)
+                raw = f.read()
+        except OSError:
+            self._seg = None
+            raise WalTruncated(
+                f"{self.directory}: segment vanished under the cursor"
+            )
+        progressed = False
+        consumed = 0
+        for line in raw.split(b"\n"):
+            end = consumed + len(line) + 1
+            if end > len(raw):
+                break  # incomplete tail: wait for the newline
+            if not line:
+                consumed = end
+                continue
+            if self._offset == 0 and consumed == 0:
+                if _parse_header(line) is None:
+                    raise WalCorruption(
+                        f"{self._seg.path}: missing or bad WAL header"
+                    )
+                consumed = end
+                continue
+            rec = decode_record(line.decode("utf-8", errors="replace"))
+            if rec is None:
+                break  # torn bytes that happen to end in newline: stop here
+            if rec.lsn < self.next_lsn:
+                consumed = end
+                continue
+            if rec.lsn > self.next_lsn:
+                break  # gap within a segment: never durable, stop
+            if self._stale(rec):
+                # A fenced zombie's append: reject it.  If a newer-epoch
+                # segment owns this LSN, switch to it in the same poll;
+                # otherwise park and re-select on the next poll.
+                self.fenced_rejections += 1
+                stale_path = self._seg.path
+                self._seg = None
+                self._offset = 0
+                nxt = self._select_segment()
+                if nxt is not None and nxt.path != stale_path:
+                    self._seg = nxt
+                    return True
+                return False
+            out.append(rec)
+            self.next_lsn = rec.lsn + 1
+            consumed = end
+            progressed = True
+            if max_records is not None and len(out) >= max_records:
+                break
+        self._offset += consumed
+        if not progressed:
+            # Nothing new in this segment; a rotated successor may exist.
+            nxt = self._select_segment()
+            if nxt is not None and self._seg is not None and nxt.path != self._seg.path:
+                self._seg = nxt
+                self._offset = 0
+                return True
+        return progressed
+
+
+def wal_summary(directory: str | pathlib.Path) -> dict:
+    """One-glance stats of a WAL directory (``repro.report --wal``).
+
+    Returns segment count, retained LSN range, total bytes, and the
+    newest epoch; all zeros for an empty or missing directory.
+    """
+    directory = pathlib.Path(directory)
+    segs = list_segments(directory)
+    chain, base = read_wal_dir(directory)
+    return {
+        "segments": len(segs),
+        "base_lsn": base,
+        "next_lsn": base + len(chain),
+        "rounds": len(chain),
+        "bytes": sum(s.size for s in segs),
+        "epoch": chain[-1].epoch if chain else (segs[-1].epoch if segs else 0),
+    }

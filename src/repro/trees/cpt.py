@@ -81,6 +81,69 @@ class CompressedPathTree:
         """Number of CPT edges (compressed path segments)."""
         return len(self.edges)
 
+    def _adjacency(self) -> dict[int, list[tuple[int, int]]]:
+        # Built lazily on the first path query, then reused for the whole
+        # batch -- the point of answering l queries off one CPT.
+        adj = getattr(self, "_adj", None)
+        if adj is None:
+            adj = {v: [] for v in self.vertices}
+            for i, (a, b, _, _) in enumerate(self.edges):
+                adj[a].append((b, i))
+                adj[b].append((a, i))
+            self._adj = adj
+        return adj
+
+    def path_aggregate(self, u: int, v: int) -> PathAggregate | None:
+        """Aggregates of the (unique) CPT path ``u -- v``.
+
+        ``u`` and ``v`` must be CPT vertices -- in practice, marked when
+        the tree was built.  Returns ``None`` when they sit in different
+        components or ``u == v``.  O(size of the CPT), so answering a
+        whole batch of queries against one CPT keeps the per-query cost
+        at the Theorem 3.2 amortized bound.
+        """
+        adj = self._adjacency()
+        if u not in adj or v not in adj:
+            raise KeyError(f"({u}, {v}): not CPT vertices")
+        if u == v:
+            return None
+        # BFS with parent edges; the CPT is a forest, so the first route
+        # found is the only one.
+        parent: dict[int, tuple[int, int]] = {u: (u, -1)}
+        frontier = [u]
+        while frontier and v not in parent:
+            nxt = []
+            for x in frontier:
+                for y, ei in adj[x]:
+                    if y not in parent:
+                        parent[y] = (x, ei)
+                        nxt.append(y)
+            frontier = nxt
+        if v not in parent:
+            return None
+        agg: PathAggregate | None = None
+        x = v
+        while x != u:
+            x, ei = parent[x]
+            agg = self.aggregates[ei] if agg is None else agg.combine(
+                self.aggregates[ei]
+            )
+        return agg
+
+    def path_max(self, u: int, v: int) -> tuple[float, int] | None:
+        """Heaviest physical ``(weight, eid)`` on the CPT path ``u -- v``
+        (``None`` when disconnected or ``u == v``)."""
+        agg = self.path_aggregate(u, v)
+        return None if agg is None else (agg.max_w, agg.max_eid)
+
+    def connected(self, u: int, v: int) -> bool:
+        """Whether CPT vertices ``u`` and ``v`` share a component.
+
+        Faithful to the underlying forest for *marked* vertices: the CPT
+        spans every component containing a mark.
+        """
+        return u == v or self.path_aggregate(u, v) is not None
+
 
 class _GraphBuilder:
     """The mutable graph that ``ExpandCluster`` accumulates into.

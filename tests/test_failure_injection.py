@@ -170,6 +170,7 @@ def _svc_fingerprint(sw):
     )
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("engine", ["object", "array"])
 class TestServiceCrashRecovery:
     def _uninterrupted(self, engine):

@@ -24,6 +24,7 @@ from repro.service import (
     WalCorruption,
     WriteAheadLog,
     read_wal,
+    read_wal_dir,
 )
 from repro.service.wal import OP_EXPIRE, OP_INSERT, decode_record, encode_record
 from repro.sliding_window import SWConnectivityEager
@@ -453,7 +454,7 @@ class TestThreadedLoop:
         assert svc.structure.clock.t == total_edges
         assert svc.structure.clock.tw == total_expire
         # Every accepted round is durable.
-        records = read_wal(tmp_path / "wal.jsonl")[0]
+        records = read_wal_dir(tmp_path / "wal")[0]
         logged = sum(
             len(p) for r in records for k, p in r.ops if k == OP_INSERT
         )

@@ -7,14 +7,24 @@ the run, and then requires the recovered structure to be *byte-identical*
 to a twin that never went through a service at all: same RC-tree
 contraction snapshot, same MSF edge set, same answer to every
 connectivity query.  Both RC-tree engines are exercised.
+
+The replicated twin (``test_replicated_followers_converge``) runs the
+same property against :class:`~repro.replication.ReplicatedService`: a
+random kill/restart schedule interrupts followers mid-stream, yet every
+follower -- revived and caught up -- must land on the twin's exact
+fingerprint, because followers replay the same WAL through the same
+apply path (the split-brain variant lives in ``tests/test_replication``).
 """
 
 from __future__ import annotations
+
+import itertools
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.replication import ReplicatedService
 from repro.service import InjectedCrash, ServiceConfig, StreamService
 from repro.sliding_window import SWConnectivityEager
 
@@ -104,3 +114,59 @@ def test_crash_recover_matches_uninterrupted(
     svc2.close()
 
     assert fingerprint(svc2.structure) == fingerprint(twin)
+
+
+# One optional follower disruption per round: kill or revive replica 0/1.
+action_ = st.sampled_from(
+    [None, (0, "kill"), (0, "restart"), (1, "kill"), (1, "restart")]
+)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("engine", ["object", "array"])
+@settings(max_examples=20, deadline=None)
+@given(
+    rounds=rounds_,
+    schedule=st.lists(action_, min_size=0, max_size=8),
+    snapshot_every=st.sampled_from([0, 1, 2]),
+)
+def test_replicated_followers_converge(
+    tmp_path_factory, engine, rounds, schedule, snapshot_every
+):
+    tmp_path = tmp_path_factory.mktemp("repl")
+    cfg = ServiceConfig(flush_edges=10**9, snapshot_every=snapshot_every)
+
+    def factory():
+        return SWConnectivityEager(N, seed=SEED, engine=engine)
+
+    twin = SWConnectivityEager(N, seed=SEED, engine=engine)
+    for edges, expire in rounds:
+        if edges:
+            twin.batch_insert(edges)
+        if expire:
+            twin.batch_expire(expire)
+
+    with ReplicatedService(factory, tmp_path, cfg, followers=2) as rs:
+        for (edges, expire), action in itertools.zip_longest(
+            rounds, schedule[: len(rounds)]
+        ):
+            if action is not None:
+                f = rs.followers[action[0]]
+                if action[1] == "kill" and f.alive:
+                    f.kill()
+                elif action[1] == "restart" and not f.alive:
+                    f.restart()
+            rs.write(edges, expire=expire)
+            rs.poll()
+
+        # Revive everything; a re-bootstrapped replica must converge too.
+        for f in rs.followers:
+            if not f.alive:
+                f.restart()
+        rs.poll()
+
+        want = fingerprint(twin)
+        assert rs.primary.query(fingerprint) == want
+        for f in rs.followers:
+            assert f.replayed_lsn == rs.primary.next_lsn
+            assert f.query(fingerprint) == want
