@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Seeded chaos soak: drive a replicated service through a fault tape and
+assert byte-identical convergence with the fault-free oracle.
+
+One run plays a :class:`~repro.chaos.schedule.ChaosSchedule` (follower
+kills/restarts, bounded storage fault windows via
+:class:`~repro.chaos.faults.FaultyIO`, primary kills with promotion) of
+at least ``--events`` adversities against a live
+:class:`~repro.replication.replicated.ReplicatedService` while a bursty
+sliding-window stream keeps committing rounds.  After the tape:
+
+- every surviving node (the final primary and every follower, restarting
+  the dead ones) must fingerprint byte-identical to
+  :func:`~repro.chaos.schedule.replay_oracle` -- the winning WAL chain
+  replayed on a fresh structure;
+- the tape must have actually bitten (nonzero kills, promotions, and
+  injected faults), so a pass cannot come from chaos never firing;
+- the p99 per-round wall time must stay under ``--p99-ms`` (resilience
+  must not buy correctness with unbounded stalls).
+
+By default the soak runs both RC-tree engines back to back -- identical
+logical state on ``array`` and ``object`` is part of the convergence
+claim.  Prints one JSON summary per run plus a final verdict line; exit
+status 0 only if every run converges inside the budget.
+
+Usage::
+
+    PYTHONPATH=src python scripts/soak.py                # defaults
+    PYTHONPATH=src python scripts/soak.py --seed 99 --events 80
+    PYTHONPATH=src python scripts/soak.py --engine array --p99-ms 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.chaos import ChaosDriver, ChaosSchedule, FaultyIO  # noqa: E402
+from repro.chaos.schedule import replay_oracle  # noqa: E402
+from repro.graphgen import bursty_stream  # noqa: E402
+from repro.replication import ReplicatedService  # noqa: E402
+from repro.service import RetryPolicy, ServiceConfig  # noqa: E402
+from repro.sliding_window import SWConnectivityEager  # noqa: E402
+
+N = 48
+NO_SLEEP = lambda s: None  # noqa: E731
+
+
+def fingerprint(sw):
+    return (
+        sw.num_components,
+        sorted(sw.forest_edges()),
+        sw._msf.forest.rc.snapshot(),
+    )
+
+
+def soak_once(engine: str, args) -> dict:
+    """One seeded soak on one engine; returns its JSON-ready summary."""
+
+    def factory():
+        return SWConnectivityEager(N, seed=13, engine=engine)
+
+    faults = FaultyIO(
+        seed=args.seed,
+        p_write_error=0.3,
+        p_torn_write=0.2,
+        p_fsync_error=0.2,
+        p_read_error=0.2,
+        p_bitflip=0.5,
+        sleep=NO_SLEEP,
+    )
+    schedule = ChaosSchedule.generate(
+        seed=args.seed,
+        events=args.events,
+        steps=args.rounds,
+        primary_kills=args.primary_kills,
+    )
+    rng = random.Random(args.seed)
+    stream = bursty_stream(
+        N, rounds=args.rounds, base_batch=5, burst_batch=14, window=40, rng=rng
+    )
+    step_walls: list[float] = []
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-soak-") as tmp:
+        cfg = ServiceConfig(
+            flush_edges=10**9,
+            snapshot_every=10**9,  # keep the full chain for the oracle
+            io=faults,
+            retry=RetryPolicy(sleep=NO_SLEEP),
+        )
+        svc = ReplicatedService(
+            factory,
+            tmp,
+            cfg,
+            followers=args.followers,
+            follower_retry=RetryPolicy(sleep=NO_SLEEP),
+        )
+        driver = ChaosDriver(svc, schedule, faults)
+        t_run = time.perf_counter()
+        for step, batch in enumerate(stream):
+            t0 = time.perf_counter()
+            driver.step(step, batch.edges, batch.expire)
+            step_walls.append(time.perf_counter() - t0)
+        driver.finish()
+        run_wall = time.perf_counter() - t_run
+
+        oracle, tip = replay_oracle(factory, tmp)
+        want = fingerprint(oracle)
+        if fingerprint(svc.primary.structure) != want:
+            failures.append("primary diverges from oracle")
+        if svc.primary.next_lsn != tip:
+            failures.append(
+                f"primary tip {svc.primary.next_lsn} != oracle tip {tip}"
+            )
+        for f in svc.followers:
+            if not f.alive:
+                f.restart()
+            f.catch_up()
+            if fingerprint(f.structure) != want:
+                failures.append(f"follower {f.fid} diverges from oracle")
+        svc.close()
+
+    for key in ("follower_kills", "promotions"):
+        if driver.stats[key] == 0:
+            failures.append(f"tape never exercised {key}")
+    if faults.injected == 0:
+        failures.append("no faults were injected")
+    walls = sorted(step_walls)
+    p99_ms = walls[min(len(walls) - 1, int(0.99 * len(walls)))] * 1e3
+    if p99_ms > args.p99_ms:
+        failures.append(
+            f"p99 step wall {p99_ms:.1f}ms exceeds budget {args.p99_ms}ms"
+        )
+    return {
+        "engine": engine,
+        "seed": args.seed,
+        "rounds": args.rounds,
+        "events": sum(schedule.counts().values()),
+        "event_counts": schedule.counts(),
+        "stats": driver.stats,
+        "faults_injected": faults.injected,
+        "oracle_tip": tip,
+        "p99_step_ms": round(p99_ms, 2),
+        "wall_s": round(run_wall, 2),
+        "failures": failures,
+        "converged": not failures,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python scripts/soak.py", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--seed", type=int, default=7, help="tape seed")
+    parser.add_argument(
+        "--events", type=int, default=50, help="adversities in the tape (>= 50 for the acceptance soak)"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=160, help="stream rounds to commit"
+    )
+    parser.add_argument(
+        "--primary-kills", type=int, default=3, help="primary kills in the tape"
+    )
+    parser.add_argument(
+        "--followers", type=int, default=3, help="replica fleet size"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["array", "object", "both"],
+        default="both",
+        help="RC-tree engine(s) to soak (default: both)",
+    )
+    parser.add_argument(
+        "--p99-ms",
+        type=float,
+        default=2000.0,
+        help="p99 per-round wall budget in milliseconds",
+    )
+    args = parser.parse_args(argv)
+
+    engines = ["array", "object"] if args.engine == "both" else [args.engine]
+    ok = True
+    for engine in engines:
+        summary = soak_once(engine, args)
+        print(json.dumps(summary, sort_keys=False))
+        ok &= summary["converged"]
+    print(
+        f"soak {'PASS' if ok else 'FAIL'}: seed {args.seed}, "
+        f"{args.events} events x {len(engines)} engine(s)"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

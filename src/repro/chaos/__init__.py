@@ -1,0 +1,30 @@
+"""Deterministic chaos engineering for the durable service layer.
+
+The paper gives a worst-case bound on *algorithmic* work; this package is
+the worst-case story for the *systems* layers wrapped around it.  Two
+pieces:
+
+- :mod:`repro.chaos.faults` -- :class:`~repro.chaos.faults.FaultyIO`, a
+  seeded fault-injecting implementation of the
+  :class:`~repro.service.storage.StorageIO` seam (transient I/O errors,
+  torn writes, added latency, snapshot bit-flips);
+- :mod:`repro.chaos.schedule` -- :class:`~repro.chaos.schedule.ChaosSchedule`
+  (a seeded, reproducible event tape: follower kills/restarts, storage
+  fault windows, primary kills) and
+  :class:`~repro.chaos.schedule.ChaosDriver`, which plays the tape
+  against a live :class:`~repro.replication.replicated.ReplicatedService`
+  while ingest and reads continue, promoting a follower whenever the
+  primary dies.
+
+Everything is seeded: the same ``(seed, events)`` pair replays the same
+run, which is what makes a chaos failure debuggable.  The invariant every
+chaos test asserts is *oracle convergence*: after the tape ends and
+faults are disarmed, the surviving timeline's WAL replays -- on a fresh
+structure -- to state byte-identical to what the service tier serves.
+See ``docs/resilience.md``.
+"""
+
+from repro.chaos.faults import FaultyIO
+from repro.chaos.schedule import ChaosDriver, ChaosEvent, ChaosSchedule
+
+__all__ = ["FaultyIO", "ChaosDriver", "ChaosEvent", "ChaosSchedule"]

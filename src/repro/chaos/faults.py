@@ -1,0 +1,230 @@
+"""Seeded fault injection behind the :class:`StorageIO` seam.
+
+:class:`FaultyIO` is the adversary the resilience machinery is tested
+against.  It implements every durable operation the WAL and snapshot
+store perform, and -- while *armed* -- rolls a seeded die on each one:
+
+===============  ====================================================
+operation        injected faults
+===============  ====================================================
+``append``       transient ``EIO``/``ENOSPC``; *torn write* (a strict
+                 prefix of the bytes lands, then the error fires)
+``write_bytes``  same as ``append`` (snapshot checkpoint bodies)
+``fsync``        transient ``EIO`` (write may or may not be durable --
+                 the WAL discards to its last known-good offset)
+``fsync_dir``    transient ``EIO``
+``read_from``    transient ``EIO`` (follower tailing)
+``read_bytes``   single-bit flip in the returned payload (snapshot
+                 corruption: recovery must fall back to an older
+                 checkpoint)
+===============  ====================================================
+
+``truncate``, ``replace``, and ``unlink`` are never faulted:
+``truncate`` is the WAL's *repair* primitive (faulting the repair of a
+torn append would manufacture mid-file garbage no real crash produces),
+and ``replace``/``unlink`` are atomic-by-contract in the fault model --
+the interesting snapshot failures are torn bodies and bit rot, which the
+seam already covers upstream of the rename.
+
+All randomness comes from one seeded stream, so a single-threaded test
+replays decisions exactly; ``max_faults`` bounds a window so retries can
+eventually succeed.  Injected faults are counted per kind in
+``chaos.faults.<kind>`` metrics and on :attr:`FaultyIO.injected`.
+"""
+
+from __future__ import annotations
+
+import errno
+import pathlib
+import random
+import threading
+import time
+from typing import Callable
+
+from repro.obs.metrics import get_metrics
+from repro.service.storage import StorageIO
+
+#: errnos the injector alternates between for transient write faults.
+_WRITE_ERRNOS = (errno.EIO, errno.ENOSPC)
+
+
+class FaultyIO(StorageIO):
+    """A :class:`StorageIO` that injects seeded, deterministic faults.
+
+    Args:
+        seed: seeds the decision stream (same seed, same faults -- in
+            single-threaded use; under concurrency the per-call decisions
+            stay seeded but interleaving is the scheduler's).
+        p_write_error: probability an ``append``/``write_bytes`` raises a
+            transient ``OSError`` before writing anything.
+        p_torn_write: probability an ``append``/``write_bytes`` writes
+            only a strict prefix and then raises (the torn-write model).
+        p_fsync_error: probability an ``fsync``/``fsync_dir`` raises.
+        p_read_error: probability a ``read_from`` (WAL tailing) raises.
+        p_bitflip: probability a ``read_bytes`` (snapshot load) returns
+            the payload with one bit flipped.
+        latency: extra seconds added to every armed operation (crude disk
+            stall model).
+        sleep: injectable sleep for the latency model.
+
+    The injector starts *disarmed* (fault-free).  :meth:`arm` opens a
+    fault window, optionally bounded to ``max_faults`` injections so a
+    bounded retry policy can outlast it; :meth:`disarm` closes it.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        p_write_error: float = 0.0,
+        p_torn_write: float = 0.0,
+        p_fsync_error: float = 0.0,
+        p_read_error: float = 0.0,
+        p_bitflip: float = 0.0,
+        latency: float = 0.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.seed = seed
+        self.p_write_error = p_write_error
+        self.p_torn_write = p_torn_write
+        self.p_fsync_error = p_fsync_error
+        self.p_read_error = p_read_error
+        self.p_bitflip = p_bitflip
+        self.latency = latency
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._armed = False
+        self._budget: int | None = None
+        #: total faults injected over the injector's lifetime.
+        self.injected = 0
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+
+    def arm(self, max_faults: int | None = None) -> None:
+        """Open a fault window (``max_faults`` bounds it; None: unbounded)."""
+        with self._lock:
+            self._armed = True
+            self._budget = max_faults
+
+    def disarm(self) -> None:
+        """Close the fault window: all operations succeed again."""
+        with self._lock:
+            self._armed = False
+            self._budget = None
+
+    @property
+    def armed(self) -> bool:
+        """Whether a fault window is currently open."""
+        with self._lock:
+            return self._armed and (self._budget is None or self._budget > 0)
+
+    # ------------------------------------------------------------------
+    # Decision stream
+    # ------------------------------------------------------------------
+
+    def _roll(self, p: float, kind: str) -> bool:
+        """One seeded fault decision; True consumes budget and counts."""
+        with self._lock:
+            if not self._armed or p <= 0.0:
+                return False
+            if self._budget is not None and self._budget <= 0:
+                return False
+            if self._rng.random() >= p:
+                return False
+            if self._budget is not None:
+                self._budget -= 1
+            self.injected += 1
+        get_metrics().counter(f"chaos.faults.{kind}").inc()
+        return True
+
+    def _draw(self, n: int) -> int:
+        """A seeded integer in ``[0, n)`` (tear offsets, flip positions)."""
+        with self._lock:
+            return self._rng.randrange(n)
+
+    def _stall(self) -> None:
+        if self.latency > 0.0 and self.armed:
+            self._sleep(self.latency)
+
+    def _write_fault(self, f, data: bytes, op: str) -> None:
+        """Shared fault preamble for ``append`` and ``write_bytes``."""
+        if len(data) > 1 and self._roll(self.p_torn_write, f"torn_{op}"):
+            # A strict prefix lands (flushed, like a crash mid-write),
+            # then the error fires.  The WAL repairs by truncating to its
+            # last known-good offset; a snapshot tmp is simply abandoned.
+            f.write(data[: 1 + self._draw(len(data) - 1)])
+            f.flush()
+            raise OSError(errno.EIO, f"injected torn {op}")
+        if self._roll(self.p_write_error, f"{op}_error"):
+            raise OSError(
+                _WRITE_ERRNOS[self._draw(len(_WRITE_ERRNOS))],
+                f"injected {op} error",
+            )
+
+    # ------------------------------------------------------------------
+    # StorageIO overrides
+    # ------------------------------------------------------------------
+
+    def append(self, f, data: bytes) -> None:
+        self._stall()
+        self._write_fault(f, data, "append")
+        super().append(f, data)
+
+    def write_bytes(self, f, data: bytes) -> None:
+        self._stall()
+        self._write_fault(f, data, "write")
+        super().write_bytes(f, data)
+
+    def fsync(self, f) -> None:
+        self._stall()
+        if self._roll(self.p_fsync_error, "fsync_error"):
+            raise OSError(errno.EIO, "injected fsync error")
+        super().fsync(f)
+
+    def fsync_dir(self, directory) -> None:
+        self._stall()
+        if self._roll(self.p_fsync_error, "fsync_dir_error"):
+            raise OSError(errno.EIO, "injected fsync_dir error")
+        super().fsync_dir(directory)
+
+    def read_from(self, path, offset: int) -> bytes:
+        self._stall()
+        if self._roll(self.p_read_error, "read_error"):
+            raise OSError(errno.EIO, "injected read error")
+        return super().read_from(path, offset)
+
+    def read_bytes(self, path) -> bytes:
+        self._stall()
+        data = super().read_bytes(path)
+        # Bit rot targets snapshot checkpoints only: a flipped WAL byte is
+        # a CRC mismatch and *correctly* fails loud (never retried, never
+        # degraded), which would end the run rather than exercise the
+        # snapshot-fallback path this fault exists to test.
+        if data and is_snapshot_path(path) and self._roll(
+            self.p_bitflip, "bitflip"
+        ):
+            pos = self._draw(len(data))
+            bit = 1 << self._draw(8)
+            corrupted = bytearray(data)
+            corrupted[pos] ^= bit
+            get_metrics().counter("chaos.faults.bitflip_bytes").inc()
+            return bytes(corrupted)
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultyIO(seed={self.seed}, armed={self.armed}, "
+            f"injected={self.injected})"
+        )
+
+
+#: The suffix snapshot checkpoints use -- exported so tests can target
+#: bit-flips at checkpoints without duplicating the naming convention.
+SNAPSHOT_SUFFIX = ".pkl"
+
+
+def is_snapshot_path(path) -> bool:
+    """Whether ``path`` names a snapshot checkpoint file."""
+    return pathlib.Path(path).suffix == SNAPSHOT_SUFFIX

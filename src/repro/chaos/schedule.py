@@ -1,0 +1,363 @@
+"""Seeded chaos schedules and the driver that plays them.
+
+A :class:`ChaosSchedule` is a reproducible *tape* of adversities --
+follower kills and restarts, storage fault windows, primary kills --
+generated from one seed.  :class:`ChaosDriver` plays the tape against a
+live :class:`~repro.replication.replicated.ReplicatedService` while the
+caller keeps writing rounds through it:
+
+- a ``fault_window`` arms the service's :class:`~repro.chaos.faults.FaultyIO`
+  for a bounded number of steps (and a bounded fault budget, so retry
+  policies can outlast it);
+- a ``primary_kill`` installs an always-firing failpoint, so the next
+  write crashes the primary mid-commit; the driver then *fails over* --
+  promotes the most-caught-up live follower (restarting one if none is
+  live) -- and retries the round on the new primary;
+- replication is *tick-based* (the driver polls followers itself each
+  step) so a chaos run is deterministic: no background threads, no
+  scheduler interleaving.
+
+The ground truth after any run is the log: :func:`replay_oracle` rebuilds
+state on a fresh structure from the winning WAL chain, and chaos tests
+assert the served structures are byte-identical to it (same fingerprint)
+once faults are disarmed and followers have caught up.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.chaos.faults import FaultyIO
+from repro.obs.metrics import get_metrics
+from repro.replication.follower import FollowerDead
+from repro.replication.replicated import ReplicatedService
+from repro.service.resilience import is_transient_io
+from repro.service.service import (
+    InjectedCrash,
+    ServiceClosed,
+    apply_ops,
+    wal_directory,
+)
+from repro.service.wal import WalTruncated, read_wal_dir
+
+#: Event kinds a schedule may contain, with their default sampling weights.
+EVENT_KINDS = ("kill_follower", "restart_follower", "fault_window", "primary_kill")
+
+_DEFAULT_WEIGHTS = {
+    "kill_follower": 0.30,
+    "restart_follower": 0.35,
+    "fault_window": 0.35,
+}
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled adversity.
+
+    Attributes:
+        step: the driver step the event fires at.
+        kind: one of :data:`EVENT_KINDS`.
+        duration: for ``fault_window``: how many steps the window stays
+            armed (0 for the other kinds).
+        budget: for ``fault_window``: at most how many faults the window
+            may inject (bounded so retries can win).
+    """
+
+    step: int
+    kind: str
+    duration: int = 0
+    budget: int = 0
+
+
+@dataclass
+class ChaosSchedule:
+    """A seeded, sorted tape of :class:`ChaosEvent`.
+
+    Build one with :meth:`generate`; iterate with :meth:`at` from a
+    driving loop.  ``seed`` and the generation parameters are kept so a
+    failing run can be named by them.
+    """
+
+    seed: int
+    steps: int
+    events: list[ChaosEvent] = field(default_factory=list)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int = 0,
+        events: int = 50,
+        steps: int = 400,
+        primary_kills: int = 2,
+        weights: dict[str, float] | None = None,
+    ) -> "ChaosSchedule":
+        """A reproducible schedule of ``events`` adversities over ``steps``.
+
+        ``primary_kills`` of them are primary kills, spread across the
+        run (each third of the tape gets at most one, jittered) so
+        failovers interleave with follower churn instead of clustering.
+        The rest are sampled from ``weights`` (default: roughly even
+        kills/restarts/fault windows) at seeded steps.
+        """
+        if events < primary_kills:
+            raise ValueError("events must be >= primary_kills")
+        rng = random.Random(seed)
+        w = dict(_DEFAULT_WEIGHTS if weights is None else weights)
+        kinds = list(w)
+        total = sum(w.values())
+        out: list[ChaosEvent] = []
+        # Spread primary kills: one per equal slice of the tape, away
+        # from the very start so there is state worth failing over.
+        slice_len = max(1, steps // max(1, primary_kills))
+        for i in range(primary_kills):
+            lo = i * slice_len + slice_len // 4
+            hi = min(steps - 1, (i + 1) * slice_len - 1)
+            out.append(ChaosEvent(step=rng.randint(lo, max(lo, hi)), kind="primary_kill"))
+        for _ in range(events - primary_kills):
+            r = rng.random() * total
+            kind = kinds[-1]
+            for k in kinds:
+                if r < w[k]:
+                    kind = k
+                    break
+                r -= w[k]
+            step = rng.randrange(steps)
+            if kind == "fault_window":
+                out.append(
+                    ChaosEvent(
+                        step=step,
+                        kind=kind,
+                        duration=rng.randint(2, 8),
+                        budget=rng.randint(1, 6),
+                    )
+                )
+            else:
+                out.append(ChaosEvent(step=step, kind=kind))
+        out.sort(key=lambda e: (e.step, e.kind))
+        return cls(seed=seed, steps=steps, events=out)
+
+    def at(self, step: int) -> list[ChaosEvent]:
+        """The events firing at ``step`` (sorted, possibly empty)."""
+        return sorted(
+            (e for e in self.events if e.step == step),
+            key=lambda e: (e.step, e.kind),
+        )
+
+    def counts(self) -> dict[str, int]:
+        """How many events of each kind the tape holds."""
+        out = {k: 0 for k in EVENT_KINDS}
+        for e in self.events:
+            out[e.kind] += 1
+        return out
+
+
+class ChaosDriver:
+    """Plays a :class:`ChaosSchedule` against a replicated service.
+
+    Args:
+        service: the :class:`ReplicatedService` under test.  Its config's
+            ``io`` should be the same :class:`FaultyIO` passed here, or
+            fault windows arm nothing.
+        schedule: the tape to play.
+        faults: the injector fault windows arm/disarm (None: kill events
+            only).
+
+    The caller owns the write loop::
+
+        driver = ChaosDriver(svc, schedule, faults)
+        for step, (edges, expire) in enumerate(rounds):
+            driver.step(step, edges, expire)
+        driver.finish()          # disarm, revive, drain replication
+
+    :meth:`step` fires the step's events, commits the round (failing over
+    to a follower if the primary dies mid-commit), and ticks replication.
+    ``stats`` accumulates what actually happened, so a soak can assert
+    the tape was exercised (nonzero kills, promotions, faults).
+    """
+
+    def __init__(
+        self,
+        service: ReplicatedService,
+        schedule: ChaosSchedule,
+        faults: FaultyIO | None = None,
+    ) -> None:
+        self.service = service
+        self.schedule = schedule
+        self.faults = faults
+        self._window_end: int | None = None
+        self.stats: dict[str, int] = {
+            "rounds": 0,
+            "follower_kills": 0,
+            "follower_restarts": 0,
+            "fault_windows": 0,
+            "promotions": 0,
+            "write_failures": 0,
+            "tail_failures": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Tape playback
+    # ------------------------------------------------------------------
+
+    def step(self, step: int, edges: Sequence[Sequence] = (), expire: int = 0) -> int:
+        """Play one step: fire events, commit the round, tick replication.
+
+        Returns the committed round's LSN token (on whichever primary
+        ended up committing it).
+        """
+        if (
+            self.faults is not None
+            and self._window_end is not None
+            and step >= self._window_end
+        ):
+            self.faults.disarm()
+            self._window_end = None
+        for ev in self.schedule.at(step):
+            self._apply(ev, step)
+        lsn = self._write(edges, expire)
+        self._tick_replication()
+        self.stats["rounds"] += 1
+        return lsn
+
+    def finish(self) -> None:
+        """End the run cleanly: disarm faults, revive every follower, and
+        drain replication so each replica reaches the durable tip."""
+        if self.faults is not None:
+            self.faults.disarm()
+            self._window_end = None
+        for f in self.service.followers:
+            if not f.alive:
+                f.restart()
+                self.stats["follower_restarts"] += 1
+        self.service.poll()
+
+    def _apply(self, ev: ChaosEvent, step: int) -> None:
+        if ev.kind == "kill_follower":
+            live = [f for f in self.service.followers if f.alive]
+            if len(live) > 1:  # keep one replica for reads/failover
+                victim = live[self._pick(ev, len(live))]
+                victim.kill()
+                self.stats["follower_kills"] += 1
+        elif ev.kind == "restart_follower":
+            dead = [f for f in self.service.followers if not f.alive]
+            if dead:
+                try:
+                    dead[self._pick(ev, len(dead))].restart()
+                except OSError as exc:
+                    # A restart inside an armed fault window may fail to
+                    # bootstrap; the replica stays dead until a later
+                    # restart event (or finish()) revives it.
+                    if not is_transient_io(exc):
+                        raise
+                    self.stats["tail_failures"] += 1
+                else:
+                    self.stats["follower_restarts"] += 1
+        elif ev.kind == "fault_window":
+            if self.faults is not None:
+                self.faults.arm(max_faults=ev.budget or None)
+                self._window_end = step + max(1, ev.duration)
+                self.stats["fault_windows"] += 1
+        elif ev.kind == "primary_kill":
+            # The next write dies mid-commit; _write fails over.
+            self.service.primary.failpoints["before-wal-append"] = (
+                lambda lsn: True
+            )
+        else:  # pragma: no cover - generate() never emits unknown kinds
+            raise ValueError(f"unknown chaos event kind {ev.kind!r}")
+        get_metrics().counter(f"chaos.events.{ev.kind}").inc()
+
+    @staticmethod
+    def _pick(ev: ChaosEvent, n: int) -> int:
+        # Victim choice must be deterministic but vary across events:
+        # derive it from the event's own coordinates, not a shared rng
+        # whose stream position would depend on how many events fired.
+        return (ev.step * 31 + len(ev.kind)) % n
+
+    # ------------------------------------------------------------------
+    # Writes with failover
+    # ------------------------------------------------------------------
+
+    def _write(self, edges: Sequence[Sequence], expire: int) -> int:
+        try:
+            return self.service.write(edges, expire)
+        except (InjectedCrash, ServiceClosed, OSError) as exc:
+            if isinstance(exc, OSError) and not is_transient_io(exc):
+                raise
+            self.stats["write_failures"] += 1
+            self._failover()
+            # The crashed round never reached the WAL; recommit it on the
+            # new primary.  A second failure here is a real test failure.
+            return self.service.write(edges, expire)
+
+    def _failover(self) -> None:
+        """Promote the most-caught-up follower after a primary death."""
+        if self.faults is not None:
+            # An operator replaces the disk before re-pointing traffic;
+            # promotion itself runs fault-free.
+            self.faults.disarm()
+            self._window_end = None
+        live = [f for f in self.service.followers if f.alive]
+        if not live:
+            if not self.service.followers:
+                raise RuntimeError(
+                    "primary died with no followers attached; nothing to "
+                    "promote"
+                )
+            f = min(self.service.followers, key=lambda g: g.fid)
+            f.restart()
+            self.stats["follower_restarts"] += 1
+            live = [f]
+        best = max(live, key=lambda f: f.replayed_lsn)
+        self.service.promote(best, catch_up=True)
+        # Promotion consumes the replica; attach a replacement (it
+        # bootstraps from shared storage) so the fleet size -- and the
+        # ability to survive the *next* primary kill -- is preserved.
+        self.service.add_follower()
+        self.stats["promotions"] += 1
+
+    # ------------------------------------------------------------------
+    # Tick-based replication
+    # ------------------------------------------------------------------
+
+    def _tick_replication(self) -> None:
+        for f in self.service.followers:
+            if not f.alive:
+                continue
+            try:
+                f.catch_up()
+            except (FollowerDead, WalTruncated):
+                self.stats["tail_failures"] += 1
+            except OSError as exc:
+                if not is_transient_io(exc):
+                    raise
+                # Retries exhausted inside an armed window; the tape will
+                # close it and the next tick drains the backlog.
+                self.stats["tail_failures"] += 1
+
+
+def replay_oracle(
+    factory: Callable[[], Any], data_dir, io=None
+) -> tuple[Any, int]:
+    """Rebuild ground-truth state from the winning WAL chain.
+
+    Replays every retained record of the winning chain (highest epoch
+    wins, exactly the recovery rule) into a fresh ``factory()`` structure.
+    Returns ``(structure, next_lsn)``.  Chaos tests compare the running
+    service's structures against this -- byte-identical convergence is
+    the pass criterion.
+    """
+    structure = factory()
+    records, base = read_wal_dir(wal_directory(data_dir), io)
+    if base != 0:
+        raise WalTruncated(
+            f"oracle replay needs the full chain but the log starts at "
+            f"{base}; disable WAL truncation (snapshot_every=0) in chaos "
+            "runs"
+        )
+    tip = 0
+    for rec in records:
+        apply_ops(structure, rec.ops)
+        tip = rec.lsn + 1
+    return structure, tip

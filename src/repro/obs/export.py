@@ -11,11 +11,24 @@ Invariant (by construction in :func:`record_from_costs`): the per-phase
 ``work`` of the record's top-level phases sums *exactly* to
 ``totals["work"]`` -- any work charged outside every phase is made explicit
 as a synthetic ``(untracked)`` phase rather than silently dropped.
+
+Schema v2 bounds the committed record's size: deep phase trees (a
+replicated-service run nests replay phases 20 levels deep and fans out
+per configuration) are *capped* to :data:`PHASE_DEPTH_CAP` levels /
+:data:`PHASE_NODE_CAP` nodes before writing.  Because every node's
+``work``/``span``/``wall`` are inclusive of its subtree, folding
+descendants loses only drill-down detail, never accounting: a node whose
+subtree was folded carries ``"collapsed": <n>`` (how many descendant
+nodes it absorbed), so a reader can tell a genuine leaf from a capped
+one.  Pass ``raw_phases=True`` (or set ``$REPRO_RAW_PHASES=1``) to keep
+the full tree when investigating.  :meth:`BenchmarkRecord.from_dict`
+reads v1 and v2 records alike -- v1 simply has no ``collapsed`` markers.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import subprocess
 import time
@@ -24,8 +37,17 @@ from typing import Iterable
 
 from repro.runtime.cost import CostModel, PhaseNode
 
-SCHEMA = "repro.obs/benchmark-record/v1"
+SCHEMA = "repro.obs/benchmark-record/v2"
+SCHEMA_V1 = "repro.obs/benchmark-record/v1"
+#: schema tags :meth:`BenchmarkRecord.from_dict` accepts.
+KNOWN_SCHEMAS = (SCHEMA, SCHEMA_V1)
 UNTRACKED = "(untracked)"
+
+#: default phase-tree caps applied by :func:`record_from_costs`.
+PHASE_DEPTH_CAP = 4
+PHASE_NODE_CAP = 400
+#: set to a truthy value to commit uncapped phase trees.
+RAW_PHASES_ENV = "REPRO_RAW_PHASES"
 
 _git_rev_cache: dict[str, str | None] = {}
 
@@ -92,7 +114,13 @@ class BenchmarkRecord:
 
     @classmethod
     def from_dict(cls, d: dict) -> "BenchmarkRecord":
-        """Rebuild a record from :meth:`to_dict` output."""
+        """Rebuild a record from :meth:`to_dict` output (schema v1 or v2)."""
+        schema = d.get("schema", SCHEMA)
+        if schema not in KNOWN_SCHEMAS:
+            raise ValueError(
+                f"unknown benchmark-record schema {schema!r} "
+                f"(known: {', '.join(KNOWN_SCHEMAS)})"
+            )
         return cls(
             name=d["name"],
             params=dict(d.get("params", {})),
@@ -117,6 +145,51 @@ class BenchmarkRecord:
         return root
 
 
+def _phase_nodes(d: dict) -> int:
+    """Nodes in one phase dict's subtree (itself included)."""
+    return 1 + sum(_phase_nodes(c) for c in d.get("children", ()))
+
+
+def _cap_phase(d: dict, depth: int) -> dict:
+    """Copy of ``d`` keeping at most ``depth`` levels.
+
+    A node whose descendants are folded away gains ``"collapsed": <n>``
+    -- the folded node count -- while its own inclusive ``work``/
+    ``span``/``wall`` already account for them, so nothing is lost from
+    the totals.
+    """
+    out = {k: v for k, v in d.items() if k != "children"}
+    kids = d.get("children", ())
+    if depth <= 1:
+        folded = sum(_phase_nodes(c) for c in kids)
+        if folded:
+            out["collapsed"] = folded + int(out.get("collapsed", 0))
+        out["children"] = []
+    else:
+        out["children"] = [_cap_phase(c, depth - 1) for c in kids]
+    return out
+
+
+def cap_phases(
+    phases: list[dict],
+    max_depth: int = PHASE_DEPTH_CAP,
+    max_nodes: int = PHASE_NODE_CAP,
+) -> list[dict]:
+    """Bound a phase forest to ``max_depth`` levels and ``max_nodes`` nodes.
+
+    Applies the depth cap first, then tightens it level by level until the
+    node budget holds (top-level phases are never dropped -- the sum-to-
+    totals invariant needs them all).  Folded subtrees are marked with
+    ``"collapsed"`` counts; see :func:`_cap_phase`.
+    """
+    capped = phases
+    for depth in range(max_depth, 0, -1):
+        capped = [_cap_phase(p, depth) for p in phases]
+        if sum(_phase_nodes(p) for p in capped) <= max_nodes:
+            break
+    return capped
+
+
 def record_from_costs(
     name: str,
     costs: CostModel | Iterable[CostModel],
@@ -124,6 +197,7 @@ def record_from_costs(
     wall_s: float | None = None,
     metrics: dict | None = None,
     extra: dict | None = None,
+    raw_phases: bool | None = None,
 ) -> BenchmarkRecord:
     """Build a record from one or more cost models' phase trees.
 
@@ -132,6 +206,10 @@ def record_from_costs(
     them sequentially).  Work or span charged outside every phase becomes a
     synthetic ``(untracked)`` top-level phase, so top-level phase work
     always sums exactly to ``totals["work"]``.
+
+    The phase forest is capped via :func:`cap_phases` unless
+    ``raw_phases`` is true (default: the :data:`RAW_PHASES_ENV`
+    environment toggle), keeping committed records reviewable.
 
     ``wall_s`` defaults to the summed wall time of the top-level phases.
     """
@@ -152,6 +230,15 @@ def record_from_costs(
         stray.work = total_work - tracked_work
         stray.span = total_span - tracked_span
         phase_dicts.append(stray.to_dict())
+
+    if raw_phases is None:
+        raw_phases = os.environ.get(RAW_PHASES_ENV, "").strip().lower() in (
+            "1",
+            "true",
+            "yes",
+        )
+    if not raw_phases:
+        phase_dicts = cap_phases(phase_dicts)
 
     if wall_s is None:
         wall_s = sum(c.wall for c in merged.children.values())

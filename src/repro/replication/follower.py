@@ -30,8 +30,10 @@ from typing import Any, Callable
 from repro.obs.metrics import get_metrics
 from repro.runtime.cost import CostModel
 from repro.service.query import BUSY
+from repro.service.resilience import RetryPolicy
 from repro.service.service import SNAPSHOT_DIRNAME, apply_ops, wal_directory
 from repro.service.snapshot import SnapshotStore
+from repro.service.storage import StorageIO
 from repro.service.wal import WalCursor, WalTruncated
 
 
@@ -47,6 +49,11 @@ class Follower:
         data_dir: the primary's data directory (shared storage).
         factory: builds the empty structure when no checkpoint exists;
             must match the primary's (same ``n``, ``seed``, ``engine``).
+        io: the storage seam for bootstrap reads and WAL tailing
+            (default: real I/O); chaos tests inject faults here.
+        retry: optional retry policy applied to *transient* storage
+            faults while tailing the log in :meth:`catch_up` --
+            corruption still fails loud.
     """
 
     def __init__(
@@ -54,15 +61,20 @@ class Follower:
         fid: int,
         data_dir: str | pathlib.Path,
         factory: Callable[[], Any],
+        io: StorageIO | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.fid = fid
         self.data_dir = pathlib.Path(data_dir)
         self.factory = factory
+        self._io = io
+        self._retry = retry
         self._lock = threading.RLock()
         self._fence: tuple[int, int] = (0, 0)
         self._killed = False
         self._fenced_seen = 0
         self.structure: Any = None
+        self.last_error: BaseException | None = None
         self._bootstrap()
 
     # ------------------------------------------------------------------
@@ -70,7 +82,7 @@ class Follower:
     # ------------------------------------------------------------------
 
     def _bootstrap(self) -> None:
-        store = SnapshotStore(self.data_dir / SNAPSHOT_DIRNAME)
+        store = SnapshotStore(self.data_dir / SNAPSHOT_DIRNAME, io=self._io)
         fence_lsn, fence_epoch = self._fence
         snap = store.load_latest(
             valid=lambda lsn, epoch: not (
@@ -84,7 +96,7 @@ class Follower:
             snap_lsn, self.structure = snap
             self._replayed = snap_lsn + 1  # checkpoint covers rounds 0..lsn
         self.cursor = WalCursor(
-            wal_directory(self.data_dir), next_lsn=self._replayed
+            wal_directory(self.data_dir), next_lsn=self._replayed, io=self._io
         )
         self.cursor.fence(fence_lsn, fence_epoch)
         self._fenced_seen = 0
@@ -102,6 +114,22 @@ class Follower:
         with self._lock:
             self._bootstrap()
             self._killed = False
+            self.last_error = None
+
+    def fail(self, exc: BaseException) -> None:
+        """Take the replica out of rotation after an unexpected error.
+
+        The replication loop calls this when tailing raises something
+        that is neither an expected life-cycle event nor retryable: the
+        replica stops serving (``alive`` goes False) with the cause kept
+        in ``last_error`` for the operator; :meth:`restart` revives it
+        from disk.
+        """
+        with self._lock:
+            self._killed = True
+            self.structure = None
+            self.last_error = exc
+            get_metrics().counter("replication.follower_failures").inc()
 
     @property
     def alive(self) -> bool:
@@ -134,12 +162,22 @@ class Follower:
         with self._lock:
             self._check_alive()
             m = get_metrics()
+            # Transient storage faults while tailing retry under the
+            # policy (the cursor leaves its position untouched on error,
+            # so a retry re-reads the same range); WalTruncated is not
+            # transient and falls through to the re-bootstrap.
+            if self._retry is not None:
+                poll = lambda: self._retry.call(  # noqa: E731
+                    lambda: self.cursor.poll(max_records)
+                )
+            else:
+                poll = lambda: self.cursor.poll(max_records)  # noqa: E731
             with self.cost.phase("repl-ship") as ph:
                 try:
-                    records = self.cursor.poll(max_records)
+                    records = poll()
                 except WalTruncated:
                     self._bootstrap()
-                    records = self.cursor.poll(max_records)
+                    records = poll()
                 ph.count(len(records))
             fenced = self.cursor.fenced_rejections - self._fenced_seen
             if fenced:

@@ -34,8 +34,10 @@ import threading
 from typing import Any, Callable, Sequence
 
 from repro.obs.metrics import get_metrics
-from repro.replication.follower import Follower
+from repro.replication.follower import Follower, FollowerDead
+from repro.service.resilience import RetryPolicy, is_transient_io
 from repro.service.service import ServiceConfig, StreamService
+from repro.service.wal import WalTruncated
 
 
 class ReplicatedService:
@@ -46,8 +48,12 @@ class ReplicatedService:
             call it; it must be deterministic).
         data_dir: shared storage -- the primary's WAL and snapshots, and
             the medium followers replicate from.
-        config: the primary's :class:`ServiceConfig`.
+        config: the primary's :class:`ServiceConfig` (its ``io`` seam, if
+            any, is shared with every follower so chaos faults hit both
+            sides of the log).
         followers: how many replicas to attach immediately.
+        follower_retry: optional retry policy handed to each follower for
+            transient storage faults while tailing.
     """
 
     def __init__(
@@ -56,10 +62,12 @@ class ReplicatedService:
         data_dir: str | pathlib.Path,
         config: ServiceConfig | None = None,
         followers: int = 0,
+        follower_retry: RetryPolicy | None = None,
     ) -> None:
         self.factory = factory
         self.data_dir = pathlib.Path(data_dir)
         self.config = config if config is not None else ServiceConfig()
+        self.follower_retry = follower_retry
         self.primary: StreamService = StreamService.open(
             self.data_dir, factory, self.config
         )
@@ -76,7 +84,13 @@ class ReplicatedService:
 
     def add_follower(self) -> Follower:
         """Attach one more replica (bootstraps from snapshot + WAL suffix)."""
-        f = Follower(self._next_fid, self.data_dir, self.factory)
+        f = Follower(
+            self._next_fid,
+            self.data_dir,
+            self.factory,
+            io=self.config.io,
+            retry=self.follower_retry,
+        )
         self._next_fid += 1
         self.followers.append(f)
         get_metrics().gauge("replication.followers").set(len(self.followers))
@@ -174,12 +188,27 @@ class ReplicatedService:
     ) -> None:
         if self._stop_repl.wait(initial_delay):
             return
+        m = get_metrics()
         while not self._stop_repl.is_set():
             if f.alive:
                 try:
                     f.catch_up(max_records)
-                except Exception:  # killed/fenced mid-poll: retry next tick
-                    pass
+                except (FollowerDead, WalTruncated):
+                    # Expected life-cycle races: the follower was killed
+                    # between the alive check and the poll, or the log was
+                    # truncated twice in one poll.  The next tick retries
+                    # (a restart revives a killed follower).
+                    m.counter("replication.tail_errors").inc()
+                except Exception as exc:
+                    m.counter("replication.tail_errors").inc()
+                    if not is_transient_io(exc):
+                        # Corruption or a genuine bug: do NOT loop quietly
+                        # over it -- take the replica out of rotation with
+                        # the cause recorded, so routing skips it and the
+                        # operator sees it.
+                        f.fail(exc)
+                    # else: the retry policy exhausted its budget this
+                    # tick; the fault window may have passed by the next.
             self._lag_gauges()
             self._stop_repl.wait(interval)
 

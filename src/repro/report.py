@@ -190,26 +190,37 @@ def render_wal(data_dir: pathlib.Path) -> int:
     from repro.service.service import WAL_DIRNAME, WAL_FILENAME
     from repro.service.wal import wal_summary
 
+    from repro.service.wal import WalCorruption
+
     wal_dir = data_dir / WAL_DIRNAME
     if not wal_dir.is_dir() and not (data_dir / WAL_FILENAME).exists():
         print(f"{data_dir}: no WAL", file=sys.stderr)
         return 1
-    if not wal_dir.is_dir():
-        # A legacy single-file layout: summarise it as one segment
-        # without migrating (read-only inspection must not mutate).
-        from repro.service.wal import read_wal
+    try:
+        if not wal_dir.is_dir():
+            # A legacy single-file layout: summarise it as one segment
+            # without migrating (read-only inspection must not mutate).
+            from repro.service.wal import read_wal
 
-        records, good = read_wal(data_dir / WAL_FILENAME)
-        s = {
-            "segments": 1,
-            "base_lsn": records[0].lsn if records else 0,
-            "next_lsn": (records[-1].lsn + 1) if records else 0,
-            "rounds": len(records),
-            "bytes": good,
-            "epoch": records[-1].epoch if records else 0,
-        }
-    else:
-        s = wal_summary(wal_dir)
+            records, good = read_wal(data_dir / WAL_FILENAME)
+            s = {
+                "segments": 1,
+                "base_lsn": records[0].lsn if records else 0,
+                "next_lsn": (records[-1].lsn + 1) if records else 0,
+                "rounds": len(records),
+                "bytes": good,
+                "epoch": records[-1].epoch if records else 0,
+            }
+        else:
+            s = wal_summary(wal_dir)
+    except WalCorruption as exc:
+        # An inspection tool must diagnose a damaged log, not crash on
+        # it: name the damage and exit nonzero.
+        print(f"{data_dir}: corrupt WAL: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"{data_dir}: cannot read WAL: {exc}", file=sys.stderr)
+        return 1
     print(
         f"{data_dir}: {s['segments']} segment(s), "
         f"lsn [{s['base_lsn']}, {s['next_lsn']}) "

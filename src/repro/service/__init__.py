@@ -19,6 +19,12 @@ from repro.service.query import (
     StalenessExceeded,
     UnsupportedQuery,
 )
+from repro.service.resilience import (
+    CircuitBreaker,
+    RetryPolicy,
+    ServiceOverloaded,
+    is_transient_io,
+)
 from repro.service.service import (
     FAILPOINTS,
     Backpressure,
@@ -30,6 +36,7 @@ from repro.service.service import (
     wal_directory,
 )
 from repro.service.snapshot import SNAPSHOT_SCHEMA, SnapshotStore
+from repro.service.storage import REAL_IO, StorageIO
 from repro.service.wal import (
     WAL_SCHEMA,
     SegmentedWal,
@@ -56,6 +63,12 @@ __all__ = [
     "ReadResult",
     "StalenessExceeded",
     "UnsupportedQuery",
+    "ServiceOverloaded",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "is_transient_io",
+    "StorageIO",
+    "REAL_IO",
     "SnapshotStore",
     "SNAPSHOT_SCHEMA",
     "WriteAheadLog",

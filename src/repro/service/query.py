@@ -27,6 +27,22 @@ the best replica is behind, the ``on_lag`` policy decides:
 read that any replica within ``k`` rounds of the primary's durable tip
 may answer, regardless of tokens.
 
+The router also carries the read side of the resilience story
+(``docs/resilience.md``):
+
+- a per-replica :class:`~repro.service.resilience.CircuitBreaker`
+  (optional) skips replicas that keep failing instead of paying their
+  failure latency on every batch, and a replica that throws mid-read is
+  recorded and routed around within the same call;
+- ``on_primary_down="degrade"`` keeps reads flowing when the primary is
+  dead and no failover has happened yet: the batch is answered by the
+  most-caught-up live follower and the result is flagged
+  ``stale=True`` -- explicitly weaker than read-your-writes, but
+  available;
+- ``max_inflight`` sheds excess concurrent batches with
+  :class:`~repro.service.resilience.ServiceOverloaded` (carrying a
+  ``retry_after`` hint) instead of queueing without bound.
+
 Query batches are lists of tuples::
 
     ("connected", u, v)     window connectivity (batched via one CPT)
@@ -47,12 +63,15 @@ Theorem 5.1 structure, which does not track them).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.obs.metrics import get_metrics
 from repro.runtime.cost import CostModel
+from repro.service.resilience import CircuitBreaker, ServiceOverloaded
+from repro.service.service import ServiceClosed
 
 
 #: Returned by a replica's non-blocking ``try_query`` when its lock is
@@ -80,11 +99,16 @@ class ReadResult:
             (its consistency point; ``>= at_least + 1`` when a token was
             given).
         replica: ``"follower<fid>"`` or ``"primary"``.
+        stale: True only for a degraded read (``on_primary_down=
+            "degrade"`` with the primary dead): the answer may predate
+            the requested token, and the client must treat it as
+            best-effort.
     """
 
     answers: list
     lsn: int
     replica: str
+    stale: bool = False
 
 
 #: ``kind -> (attribute, is_property)`` for the zero-argument queries.
@@ -175,6 +199,20 @@ class QueryService:
             across every replica inside the band (that also satisfies the
             request's token), trading staleness -- never beyond the
             band or below the token -- for read spreading.
+        on_primary_down: what a read that must fall back to a dead
+            primary does -- ``"fail"`` (default) raises
+            :class:`~repro.service.service.ServiceClosed`;
+            ``"degrade"`` answers from the most-caught-up live follower
+            with ``ReadResult.stale=True`` (and raises
+            :class:`StalenessExceeded` only when no follower is live
+            either).
+        breaker: optional per-replica circuit breaker; a replica whose
+            breaker is open is skipped by routing until its cooldown
+            half-opens it.
+        max_inflight: admission-control cap on concurrently running
+            batches; batch ``max_inflight + 1`` is shed with
+            :class:`~repro.service.resilience.ServiceOverloaded` instead
+            of queueing (None: unbounded).
     """
 
     def __init__(
@@ -185,16 +223,36 @@ class QueryService:
         wait_timeout: float = 5.0,
         poll_interval: float = 0.0005,
         spread_lag: int = 1,
+        on_primary_down: str = "fail",
+        breaker: CircuitBreaker | None = None,
+        max_inflight: int | None = None,
     ) -> None:
         if on_lag not in ("catch_up", "wait", "redirect"):
             raise ValueError(f"unknown on_lag policy {on_lag!r}")
         if spread_lag < 0:
             raise ValueError("spread_lag must be >= 0")
+        if on_primary_down not in ("fail", "degrade"):
+            raise ValueError(
+                f"unknown on_primary_down policy {on_primary_down!r}"
+            )
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
         self.service = service
         self.on_lag = on_lag
         self.wait_timeout = wait_timeout
         self.poll_interval = poll_interval
         self.spread_lag = spread_lag
+        self.on_primary_down = on_primary_down
+        self.breaker = breaker
+        self.max_inflight = max_inflight
+        self._inflight = (
+            None
+            if max_inflight is None
+            else threading.BoundedSemaphore(max_inflight)
+        )
+        # EWMA of batch wall time, feeding ServiceOverloaded.retry_after:
+        # "one drain interval" is roughly how long one batch takes.
+        self._latency_ewma = 0.0
         self._rr = 0  # round-robin tie-break among least-lagged replicas
 
     def run(
@@ -211,32 +269,68 @@ class QueryService:
         replica be within ``k`` rounds of the primary's durable tip.
         """
         queries = [tuple(q) for q in queries]
-        t0 = time.perf_counter()
-        required = 0 if at_least is None else at_least + 1
-        if max_staleness is not None:
-            if max_staleness < 0:
-                raise ValueError("max_staleness must be >= 0")
-            required = max(
-                required, self.service.primary.next_lsn - max_staleness
-            )
         m = get_metrics()
-        answers, lsn, replica = self._route(queries, required)
-        wall = time.perf_counter() - t0
+        if self._inflight is not None and not self._inflight.acquire(
+            blocking=False
+        ):
+            m.counter("query.shed").inc()
+            raise ServiceOverloaded(
+                f"{self.max_inflight} batches already in flight",
+                retry_after=self._latency_ewma or self.poll_interval,
+            )
+        try:
+            t0 = time.perf_counter()
+            required = 0 if at_least is None else at_least + 1
+            if max_staleness is not None:
+                if max_staleness < 0:
+                    raise ValueError("max_staleness must be >= 0")
+                required = max(
+                    required, self.service.primary.next_lsn - max_staleness
+                )
+            answers, lsn, replica, stale = self._route(queries, required)
+            wall = time.perf_counter() - t0
+        finally:
+            if self._inflight is not None:
+                self._inflight.release()
+        self._latency_ewma = (
+            wall
+            if self._latency_ewma == 0.0
+            else 0.8 * self._latency_ewma + 0.2 * wall
+        )
         m.counter("query.batches").inc()
         m.counter("query.reads").inc(len(queries))
         m.histogram("query.batch_size").observe(len(queries))
         m.histogram("query.latency_ms").observe(wall * 1e3)
-        return ReadResult(answers=answers, lsn=lsn, replica=replica)
+        return ReadResult(answers=answers, lsn=lsn, replica=replica, stale=stale)
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _is_replica_failure(exc: BaseException) -> bool:
+        # What counts as "this replica failed, try another": replica
+        # life-cycle errors (FollowerDead and friends are RuntimeErrors)
+        # and storage faults.  Routing-level verdicts and client errors
+        # must propagate instead of being laundered into a reroute.
+        if isinstance(
+            exc, (StalenessExceeded, ServiceOverloaded, UnsupportedQuery)
+        ):
+            return False
+        return isinstance(exc, (OSError, RuntimeError))
+
     def _route(
-        self, queries: Sequence[tuple], required: int
-    ) -> tuple[list, int, str]:
+        self,
+        queries: Sequence[tuple],
+        required: int,
+        exclude: frozenset = frozenset(),
+    ) -> tuple[list, int, str, bool]:
         m = get_metrics()
-        live = [f for f in self.service.followers if f.alive]
+        live = [
+            f
+            for f in self.service.followers
+            if f.alive and f.fid not in exclude
+        ]
         if not live:
             return self._read_primary(queries)
         tip = max(f.replayed_lsn for f in live)
@@ -255,36 +349,79 @@ class QueryService:
             self._rr += 1
             order = [near[(self._rr + i) % len(near)] for i in range(len(near))]
             for f in order:
-                res = f.try_query(lambda s: answer_queries(s, queries))
-                if res is not BUSY:
-                    lag = self.service.primary.next_lsn - f.replayed_lsn
-                    m.histogram("query.lag_rounds").observe(lag)
-                    return res, f.replayed_lsn, f"follower{f.fid}"
+                if self.breaker is not None and not self.breaker.allow(f.fid):
+                    continue
+                try:
+                    res = f.try_query(lambda s: answer_queries(s, queries))
+                except Exception as exc:
+                    if not self._is_replica_failure(exc):
+                        raise
+                    m.counter("query.replica_failures").inc()
+                    if self.breaker is not None:
+                        self.breaker.record_failure(f.fid)
+                    continue
+                if res is BUSY:
+                    # The probe never ran; hand the half-open slot back.
+                    if self.breaker is not None:
+                        self.breaker.cancel(f.fid)
+                    continue
+                if self.breaker is not None:
+                    self.breaker.record_success(f.fid)
+                lag = self.service.primary.next_lsn - f.replayed_lsn
+                m.histogram("query.lag_rounds").observe(lag)
+                return res, f.replayed_lsn, f"follower{f.fid}", False
             best = order[0]
         else:
             best = max(live, key=lambda f: f.replayed_lsn)
-        if best.replayed_lsn < required:
-            if self.on_lag == "catch_up":
-                m.counter("query.catch_ups").inc()
-                best.catch_up()
-                if best.replayed_lsn < required:
-                    # The round is not durable yet (bad token) or the
-                    # replica is fenced below it; the primary still holds
-                    # the authoritative state.
-                    return self._read_primary(queries)
-            elif self.on_lag == "wait":
-                best = self._wait_for(required)
-            else:  # redirect
-                return self._read_primary(queries)
+        # ``need_primary`` routes around the try below: a primary-side
+        # failure (e.g. ServiceClosed with on_primary_down="fail") must
+        # propagate as the primary's verdict, not be mistaken for a
+        # replica failure and charged to ``best``'s breaker.
+        need_primary = False
+        try:
+            if best.replayed_lsn < required:
+                if self.on_lag == "catch_up":
+                    m.counter("query.catch_ups").inc()
+                    best.catch_up()
+                    if best.replayed_lsn < required:
+                        # The round is not durable yet (bad token) or the
+                        # replica is fenced below it; the primary still
+                        # holds the authoritative state.
+                        need_primary = True
+                elif self.on_lag == "wait":
+                    got = self._wait_for(required)
+                    if got is None:
+                        need_primary = True
+                    else:
+                        best = got
+                else:  # redirect
+                    need_primary = True
+            if not need_primary:
+                answers = best.query(lambda s: answer_queries(s, queries))
+        except Exception as exc:
+            if not self._is_replica_failure(exc):
+                raise
+            # The chosen replica failed mid-read (killed underneath us, or
+            # its storage is faulting).  Record it and re-route across the
+            # remaining replicas; each retry shrinks the candidate set, so
+            # this terminates at the primary fallback.
+            m.counter("query.replica_failures").inc()
+            if self.breaker is not None:
+                self.breaker.record_failure(best.fid)
+            return self._route(
+                queries, required, exclude=exclude | {best.fid}
+            )
+        if need_primary:
+            return self._read_primary(queries)
+        if self.breaker is not None:
+            self.breaker.record_success(best.fid)
         lag = self.service.primary.next_lsn - best.replayed_lsn
         m.histogram("query.lag_rounds").observe(lag)
-        return (
-            best.query(lambda s: answer_queries(s, queries)),
-            best.replayed_lsn,
-            f"follower{best.fid}",
-        )
+        return answers, best.replayed_lsn, f"follower{best.fid}", False
 
     def _wait_for(self, required: int):
+        """Block until a live replica reaches ``required``; None means
+        "fall back to the primary"."""
         m = get_metrics()
         m.counter("query.waits").inc()
         deadline = time.monotonic() + self.wait_timeout
@@ -293,6 +430,21 @@ class QueryService:
             ready = [f for f in live if f.replayed_lsn >= required]
             if ready:
                 return max(ready, key=lambda f: f.replayed_lsn)
+            if not live:
+                # Fail fast: with zero live replicas nobody will ever
+                # catch up, so burning the whole wait_timeout only delays
+                # the verdict.  The primary can still serve the token if
+                # it is alive and has committed that round.
+                primary = self.service.primary
+                if (
+                    getattr(primary, "alive", True)
+                    and required <= primary.next_lsn
+                ):
+                    return None
+                raise StalenessExceeded(
+                    f"no live replicas (lsn {required} required, primary "
+                    "cannot serve it)"
+                )
             if time.monotonic() >= deadline:
                 tip = max(
                     (f.replayed_lsn for f in live), default=0
@@ -305,8 +457,59 @@ class QueryService:
 
     def _read_primary(
         self, queries: Sequence[tuple]
-    ) -> tuple[list, int, str]:
-        get_metrics().counter("query.redirects").inc()
+    ) -> tuple[list, int, str, bool]:
+        m = get_metrics()
         primary = self.service.primary
-        answers = primary.query(lambda s: answer_queries(s, queries))
-        return answers, primary.next_lsn, "primary"
+        if getattr(primary, "alive", True):
+            m.counter("query.redirects").inc()
+            try:
+                answers = primary.query(lambda s: answer_queries(s, queries))
+                return answers, primary.next_lsn, "primary", False
+            except Exception as exc:
+                if (
+                    self.on_primary_down != "degrade"
+                    or not self._is_replica_failure(exc)
+                ):
+                    raise
+                # The primary died under the read; fall through to the
+                # degraded path below.
+        elif self.on_primary_down == "fail":
+            raise ServiceClosed(
+                "primary is down and on_primary_down='fail' "
+                "(use 'degrade' to serve stale reads through an outage)"
+            )
+        return self._read_degraded(queries)
+
+    def _read_degraded(
+        self, queries: Sequence[tuple]
+    ) -> tuple[list, int, str, bool]:
+        """Availability over consistency: the primary is down, answer from
+        the most-caught-up live follower and flag the result stale.
+
+        Each candidate first drains whatever the dead primary left durable
+        (best effort -- its storage may be the thing that is broken), so
+        the staleness window is as small as the log allows.
+        """
+        m = get_metrics()
+        live = [f for f in self.service.followers if f.alive]
+        for f in sorted(live, key=lambda f: f.replayed_lsn, reverse=True):
+            try:
+                try:
+                    f.catch_up()
+                except Exception as exc:
+                    if not self._is_replica_failure(exc):
+                        raise
+                    m.counter("query.degraded_catchup_failures").inc()
+                answers = f.query(lambda s: answer_queries(s, queries))
+            except Exception as exc:
+                if not self._is_replica_failure(exc):
+                    raise
+                m.counter("query.replica_failures").inc()
+                if self.breaker is not None:
+                    self.breaker.record_failure(f.fid)
+                continue
+            m.counter("query.degraded_reads").inc()
+            return answers, f.replayed_lsn, f"follower{f.fid}", True
+        raise StalenessExceeded(
+            "primary is down and no live replica could serve a degraded read"
+        )

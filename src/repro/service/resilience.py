@@ -1,0 +1,253 @@
+"""Resilience policies: retry/backoff, circuit breaking, overload errors.
+
+The paper's contribution is a *worst-case* guarantee -- ``O(k lg(1+n/k))``
+work per batch no matter how adversarial the input -- and this module is
+the systems-side analogue for the service layer: bounded, predictable
+behaviour under adversarial *storage and replica* behaviour.  Three
+pieces:
+
+- :class:`RetryPolicy` -- bounded attempts, exponential backoff with
+  deterministic (seeded) jitter, and an overall deadline.  Applied to
+  *transient* faults only: :func:`is_transient_io` classifies an
+  ``OSError`` whose errno is in :data:`TRANSIENT_ERRNOS` as retryable,
+  while genuine corruption (:class:`~repro.service.wal.WalCorruption`, a
+  CRC mismatch) stays fail-loud -- retrying corruption only launders it.
+- :class:`CircuitBreaker` -- per-key consecutive-failure tracking with an
+  open/half-open/closed life cycle, so routing skips a replica that keeps
+  failing instead of paying a fresh timeout on every read.
+- :class:`ServiceOverloaded` -- the shed-instead-of-block admission
+  error, carrying a ``retry_after`` hint so a well-behaved client backs
+  off for roughly one drain interval instead of hammering.
+
+Fault model, transient-vs-fatal matrix, and the defaults' rationale live
+in ``docs/resilience.md``.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+import time
+from typing import Any, Callable
+
+from repro.obs.metrics import get_metrics
+
+#: errnos treated as transient storage faults (worth retrying).
+TRANSIENT_ERRNOS = frozenset(
+    {errno.EIO, errno.ENOSPC, errno.EAGAIN, errno.EINTR, errno.EBUSY}
+)
+
+
+class ServiceOverloaded(RuntimeError):
+    """Admission control shed this request instead of queueing it.
+
+    Attributes:
+        retry_after: seconds the client should wait before retrying
+            (an estimate of one drain interval, never negative).
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = max(0.0, retry_after)
+
+
+def is_transient_io(exc: BaseException) -> bool:
+    """Whether ``exc`` is a transient storage fault worth retrying.
+
+    True only for an ``OSError`` whose errno is in
+    :data:`TRANSIENT_ERRNOS`.  Everything else -- and in particular
+    :class:`~repro.service.wal.WalCorruption` (a CRC mismatch is damage,
+    not weather) and :class:`~repro.service.service.InjectedCrash` (a
+    crash test must kill the service) -- is not retryable.
+    """
+    return isinstance(exc, OSError) and exc.errno in TRANSIENT_ERRNOS
+
+
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    Args:
+        attempts: total tries including the first (>= 1).
+        base_delay: backoff before the first retry, in seconds.
+        multiplier: backoff growth factor per retry.
+        max_delay: per-retry backoff ceiling.
+        deadline: overall wall-clock budget across all tries; once
+            exceeded no further retry is attempted (None: unbounded).
+        seed: seeds the jitter stream, so a given policy instance
+            produces the same backoff sequence on every run -- chaos
+            tests replay byte-identically.
+        sleep: injectable sleep (tests pass a recorder).
+
+    Jitter is the "decorrelated" fraction: each backoff is scaled by a
+    factor drawn uniformly from [0.5, 1.0) out of the seeded stream.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 4,
+        base_delay: float = 0.002,
+        multiplier: float = 2.0,
+        max_delay: float = 0.25,
+        deadline: float | None = 2.0,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.deadline = deadline
+        self.seed = seed
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+
+    def backoffs(self) -> list[float]:
+        """The jittered backoff the k-th retry *would* use, for doc/tests.
+
+        Recomputed from the seed without consuming the live stream.
+        """
+        rng = random.Random(self.seed)
+        out = []
+        for k in range(self.attempts - 1):
+            raw = min(self.max_delay, self.base_delay * self.multiplier**k)
+            out.append(raw * (0.5 + 0.5 * rng.random()))
+        return out
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        transient: Callable[[BaseException], bool] = is_transient_io,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+    ) -> Any:
+        """Run ``fn`` under the policy; returns its result.
+
+        Retries while ``transient(exc)`` holds and attempts/deadline
+        remain; the final exception propagates unchanged.  ``on_retry``
+        (if given) observes ``(attempt_index, exc)`` before each retry.
+        """
+        m = get_metrics()
+        t0 = time.monotonic()
+        for attempt in range(self.attempts):
+            try:
+                return fn()
+            except Exception as exc:
+                if not transient(exc):
+                    raise
+                last = attempt == self.attempts - 1
+                raw = min(
+                    self.max_delay, self.base_delay * self.multiplier**attempt
+                )
+                delay = raw * (0.5 + 0.5 * self._rng.random())
+                over = (
+                    self.deadline is not None
+                    and time.monotonic() - t0 + delay > self.deadline
+                )
+                if last or over:
+                    m.counter("resilience.retries_exhausted").inc()
+                    raise
+                m.counter("resilience.retries").inc()
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self._sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+class CircuitBreaker:
+    """Per-key consecutive-failure breaker (closed -> open -> half-open).
+
+    A key (here: a replica id) starts *closed* (requests allowed).  After
+    ``failure_threshold`` consecutive :meth:`record_failure` calls it
+    *opens*: :meth:`allow` returns False for ``cooldown`` seconds, so the
+    router skips the replica outright instead of eating its failure
+    latency on every read.  After the cooldown the breaker is
+    *half-open*: exactly one probe is allowed through; its outcome closes
+    the breaker (success) or re-opens it for another cooldown (failure).
+
+    Args:
+        failure_threshold: consecutive failures that open the breaker.
+        cooldown: seconds an open breaker rejects before half-opening.
+        clock: injectable monotonic clock (tests pass a fake).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 0.25,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._failures: dict[Any, int] = {}
+        self._opened_at: dict[Any, float] = {}
+        self._probing: set[Any] = set()
+
+    def state(self, key: Any) -> str:
+        """``"closed"``, ``"open"``, or ``"half-open"`` for ``key``."""
+        if key not in self._opened_at:
+            return "closed"
+        if self._clock() - self._opened_at[key] < self.cooldown:
+            return "open"
+        return "half-open"
+
+    def allow(self, key: Any) -> bool:
+        """Whether a request to ``key`` may proceed right now.
+
+        In half-open state only the first caller gets True (the probe);
+        the breaker stays conservative until that probe reports back.
+        """
+        s = self.state(key)
+        if s == "closed":
+            return True
+        if s == "open":
+            get_metrics().counter("resilience.breaker_rejections").inc()
+            return False
+        if key in self._probing:
+            get_metrics().counter("resilience.breaker_rejections").inc()
+            return False
+        self._probing.add(key)
+        return True
+
+    def cancel(self, key: Any) -> None:
+        """Hand back an unused half-open probe without recording an outcome.
+
+        The router calls this when :meth:`allow` granted the probe but the
+        request never ran (e.g. the replica's lock was busy), so the next
+        caller can probe instead of the slot staying reserved forever.
+        """
+        self._probing.discard(key)
+
+    def record_success(self, key: Any) -> None:
+        """A request to ``key`` succeeded: close the breaker."""
+        self._failures.pop(key, None)
+        if self._opened_at.pop(key, None) is not None:
+            get_metrics().counter("resilience.breaker_closes").inc()
+        self._probing.discard(key)
+
+    def record_failure(self, key: Any) -> None:
+        """A request to ``key`` failed: count it, maybe open the breaker."""
+        self._probing.discard(key)
+        if key in self._opened_at:
+            # A failed half-open probe re-opens for a fresh cooldown.
+            self._opened_at[key] = self._clock()
+            return
+        n = self._failures.get(key, 0) + 1
+        self._failures[key] = n
+        if n >= self.failure_threshold:
+            self._opened_at[key] = self._clock()
+            get_metrics().counter("resilience.breaker_opens").inc()
+
+    def reset(self, key: Any | None = None) -> None:
+        """Forget failure history for ``key`` (or every key)."""
+        if key is None:
+            self._failures.clear()
+            self._opened_at.clear()
+            self._probing.clear()
+        else:
+            self._failures.pop(key, None)
+            self._opened_at.pop(key, None)
+            self._probing.discard(key)

@@ -49,7 +49,9 @@ from typing import Any, Callable, Iterator, Sequence
 
 from repro.obs.metrics import get_metrics
 from repro.runtime.cost import CostModel
+from repro.service.resilience import RetryPolicy, is_transient_io
 from repro.service.snapshot import SnapshotStore
+from repro.service.storage import StorageIO
 from repro.service.wal import (
     OP_EXPIRE,
     OP_INSERT,
@@ -127,6 +129,13 @@ class ServiceConfig:
         retain_snapshots: how many checkpoints to keep on disk.
         fsync: force WAL appends and snapshots through the OS cache
             (slower, survives power loss rather than just process death).
+        io: the storage seam every WAL/snapshot byte routes through
+            (``None``: real I/O).  :class:`repro.chaos.faults.FaultyIO`
+            plugs in here for deterministic fault injection.
+        retry: a :class:`~repro.service.resilience.RetryPolicy` applied
+            to *transient* WAL I/O errors in the commit path (``None``:
+            no retries; the first storage error kills the service, the
+            pre-resilience behaviour).  Corruption is never retried.
     """
 
     flush_edges: int = 256
@@ -136,6 +145,8 @@ class ServiceConfig:
     snapshot_every: int = 64
     retain_snapshots: int = 2
     fsync: bool = False
+    io: StorageIO | None = None
+    retry: RetryPolicy | None = None
 
 
 def apply_ops(structure: Any, ops: Sequence[Op]) -> None:
@@ -187,7 +198,9 @@ class StreamService:
         )
         if self.data_dir is not None:
             self._wal = SegmentedWal(
-                wal_directory(self.data_dir), fsync=self.config.fsync
+                wal_directory(self.data_dir),
+                fsync=self.config.fsync,
+                io=self.config.io,
             )
             if self._wal.next_lsn and not _resume:
                 self._wal.close()
@@ -199,6 +212,7 @@ class StreamService:
                 self.data_dir / SNAPSHOT_DIRNAME,
                 retain=self.config.retain_snapshots,
                 fsync=self.config.fsync,
+                io=self.config.io,
             )
         self._next_lsn = self._wal.next_lsn if self._wal else 0
         self._epoch = self._wal.epoch if self._wal else 0
@@ -250,9 +264,10 @@ class StreamService:
             data_dir / SNAPSHOT_DIRNAME,
             retain=cfg.retain_snapshots,
             fsync=cfg.fsync,
+            io=cfg.io,
         )
         wal_dir = wal_directory(data_dir)
-        records, base = read_wal_dir(wal_dir)
+        records, base = read_wal_dir(wal_dir, cfg.io)
         fences = [(s.start, s.epoch) for s in list_segments(wal_dir)]
 
         def _covers(lsn: int, epoch: int) -> bool:
@@ -479,7 +494,17 @@ class StreamService:
         try:
             self._fail("before-wal-append", lsn)
             if self._wal is not None:
-                self._wal.append(ops, epoch=self._epoch)
+                # A transient storage fault (EIO/ENOSPC/torn write/failed
+                # fsync) is retried under the configured policy: the WAL
+                # repaired itself back to the durable prefix, so the
+                # retry re-appends the same LSN onto a clean tail.
+                # Corruption and injected crashes are never retried.
+                if self.config.retry is not None:
+                    self.config.retry.call(
+                        lambda: self._wal.append(ops, epoch=self._epoch)
+                    )
+                else:
+                    self._wal.append(ops, epoch=self._epoch)
                 get_metrics().gauge("service.wal_bytes").set(
                     self._wal.bytes_written
                 )
@@ -505,38 +530,20 @@ class StreamService:
                 and self._rounds_since_snapshot >= self.config.snapshot_every
             ):
                 self._fail("before-snapshot", lsn)
-                # A fenced writer (it lost a promotion; a newer-epoch WAL
-                # segment exists) may still checkpoint -- recovery rejects
-                # its checkpoints by epoch -- but must not prune, rotate,
-                # or truncate: that would destroy the shared prefix the
-                # winning timeline recovers from.
-                fenced = self._wal is not None and self._wal.is_fenced
-                with self.cost.phase("service-snapshot"):
-                    self._snapshots.save(
-                        self.structure, lsn, epoch=self._epoch,
-                        prune=not fenced,
-                    )
-                self._rounds_since_snapshot = 0
-                get_metrics().counter("service.snapshots").inc()
+                try:
+                    self._snapshot_and_rotate(lsn)
+                except OSError as exc:
+                    if not is_transient_io(exc):
+                        raise
+                    # Snapshot/rotation maintenance failing transiently
+                    # (even past the retry budget) must not kill the
+                    # service: the WAL already holds every round, so the
+                    # only cost is a longer replay.  A failed save leaves
+                    # the counter >= snapshot_every, so the next round
+                    # tries again; a failed rotation waits for the next
+                    # checkpoint.
+                    get_metrics().counter("service.snapshots_skipped").inc()
                 self._fail("after-snapshot", lsn)
-                if fenced:
-                    get_metrics().counter(
-                        "service.fenced_retention_skips"
-                    ).inc()
-                elif self._wal is not None:
-                    # Bound WAL growth: rounds up to the *oldest retained*
-                    # checkpoint can never be replayed again (load_latest
-                    # falls back at most that far), so seal the current
-                    # segment and drop wholly dead ones.
-                    self._wal.rotate()
-                    oldest = self._snapshots.lsns()[0]
-                    dropped = self._wal.truncate_before(oldest + 1)
-                    m = get_metrics()
-                    m.counter("service.wal_rotations").inc()
-                    if dropped:
-                        m.counter("service.wal_segments_truncated").inc(
-                            dropped
-                        )
         except Exception as exc:
             # Any failure mid-commit (injected or real) leaves the WAL,
             # structure, and counters possibly out of step; the only safe
@@ -556,6 +563,48 @@ class StreamService:
         m.histogram("service.flush_latency_ms").observe(wall * 1e3)
         m.gauge("service.queue_depth").set(self._pending_items)
         return lsn
+
+    def _snapshot_and_rotate(self, lsn: int) -> None:
+        """Checkpoint the structure, then rotate/truncate the WAL.
+
+        Runs under the commit path's writer lock.  Retried as a unit
+        under the configured :class:`RetryPolicy` (each step is
+        idempotent: a re-save overwrites atomically, a re-rotation
+        reopens the same segment).
+        """
+        def once() -> None:
+            # A fenced writer (it lost a promotion; a newer-epoch WAL
+            # segment exists) may still checkpoint -- recovery rejects
+            # its checkpoints by epoch -- but must not prune, rotate,
+            # or truncate: that would destroy the shared prefix the
+            # winning timeline recovers from.
+            fenced = self._wal is not None and self._wal.is_fenced
+            with self.cost.phase("service-snapshot"):
+                self._snapshots.save(
+                    self.structure, lsn, epoch=self._epoch,
+                    prune=not fenced,
+                )
+            self._rounds_since_snapshot = 0
+            get_metrics().counter("service.snapshots").inc()
+            if fenced:
+                get_metrics().counter("service.fenced_retention_skips").inc()
+            elif self._wal is not None:
+                # Bound WAL growth: rounds up to the *oldest retained*
+                # checkpoint can never be replayed again (load_latest
+                # falls back at most that far), so seal the current
+                # segment and drop wholly dead ones.
+                self._wal.rotate()
+                oldest = self._snapshots.lsns()[0]
+                dropped = self._wal.truncate_before(oldest + 1)
+                m = get_metrics()
+                m.counter("service.wal_rotations").inc()
+                if dropped:
+                    m.counter("service.wal_segments_truncated").inc(dropped)
+
+        if self.config.retry is not None:
+            self.config.retry.call(once)
+        else:
+            once()
 
     def _fail(self, point: str, lsn: int) -> None:
         fn = self.failpoints.get(point)
@@ -699,6 +748,17 @@ class StreamService:
     def durable(self) -> bool:
         """Whether the service carries a WAL (was given a ``data_dir``)."""
         return self._wal is not None
+
+    @property
+    def alive(self) -> bool:
+        """Whether the service still takes traffic (not crashed or closed).
+
+        The router's health probe: :class:`~repro.service.query.QueryService`
+        consults this before reading the primary, because a service that
+        died mid-commit may hold a structure one half-applied round ahead
+        of its durable log.
+        """
+        return not self._dead and not self._closed
 
     @property
     def error(self) -> BaseException | None:

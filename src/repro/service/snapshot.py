@@ -6,22 +6,27 @@ evolution), so a durable checkpoint is simply the pickled structure tagged
 with the WAL LSN it covers: *rounds ``0..lsn`` applied*.  Recovery loads
 the newest loadable snapshot and replays the WAL suffix ``lsn+1..``.
 
-Writes are atomic -- pickle to ``<name>.tmp``, then :func:`os.replace` --
+Writes are atomic -- pickle to ``<name>.tmp``, then an atomic rename --
 so a crash mid-snapshot leaves at worst a stale ``.tmp`` and never a
 half-written checkpoint.  Loading skips unreadable snapshots (falling back
 to the next older one), because a corrupt checkpoint must degrade recovery
 to a longer replay, not block it.
+
+All file writes, fsyncs, renames, and reads route through the pluggable
+:class:`repro.service.storage.StorageIO` seam, so
+:class:`repro.chaos.faults.FaultyIO` can inject torn checkpoint writes
+and bit-flips; the skip-unreadable fallback is exactly the degradation
+path those faults exercise.
 """
 
 from __future__ import annotations
 
-import os
 import pathlib
 import pickle
 import re
 from typing import Any, Callable
 
-from repro.service.wal import fsync_dir
+from repro.service.storage import REAL_IO, StorageIO
 
 SNAPSHOT_SCHEMA = "repro.service/snapshot/v1"
 
@@ -37,14 +42,20 @@ class SnapshotStore:
             after each successful save (at least 1 is always kept).
         fsync: force each checkpoint through the OS cache before the
             atomic rename publishes it.
+        io: the storage seam (default: real I/O).
     """
 
     def __init__(
-        self, directory: str | pathlib.Path, retain: int = 2, fsync: bool = False
+        self,
+        directory: str | pathlib.Path,
+        retain: int = 2,
+        fsync: bool = False,
+        io: StorageIO | None = None,
     ) -> None:
         self.directory = pathlib.Path(directory)
         self.retain = max(1, retain)
         self.fsync = fsync
+        self._io = io or REAL_IO
 
     def _path(self, lsn: int) -> pathlib.Path:
         return self.directory / f"snapshot-{lsn:012d}.pkl"
@@ -71,26 +82,32 @@ class SnapshotStore:
         ex-primary passes ``prune=False``: its checkpoints still land (and
         are rejected at recovery), but it must not delete checkpoints the
         winning timeline recovers from.
+
+        A failed write (transient I/O error, torn write, failed fsync)
+        leaves at most a garbage ``.tmp`` the next save overwrites; the
+        published checkpoint set is untouched.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(lsn)
         tmp = path.with_suffix(".pkl.tmp")
-        payload = {
-            "schema": SNAPSHOT_SCHEMA,
-            "lsn": lsn,
-            "epoch": epoch,
-            "structure": structure,
-        }
+        payload = pickle.dumps(
+            {
+                "schema": SNAPSHOT_SCHEMA,
+                "lsn": lsn,
+                "epoch": epoch,
+                "structure": structure,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
         with tmp.open("wb") as f:
-            pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
-            f.flush()
+            self._io.write_bytes(f, payload)
             if self.fsync:
-                os.fsync(f.fileno())
-        os.replace(tmp, path)
+                self._io.fsync(f)
+        self._io.replace(tmp, path)
         if self.fsync:
             # The rename published the checkpoint's *name*; only a
             # directory fsync makes that entry survive a crash.
-            fsync_dir(self.directory)
+            self._io.fsync_dir(self.directory)
         if prune:
             self._prune()
         return path
@@ -108,16 +125,21 @@ class SnapshotStore:
         """
         for lsn in reversed(self.lsns()):
             try:
-                with self._path(lsn).open("rb") as f:
-                    payload = pickle.load(f)
+                payload = pickle.loads(self._io.read_bytes(self._path(lsn)))
+                if not isinstance(payload, dict):
+                    continue
                 if payload.get("schema") != SNAPSHOT_SCHEMA:
                     continue
                 epoch = int(payload.get("epoch", 0))
                 if valid is not None and not valid(int(payload["lsn"]), epoch):
                     continue
                 return int(payload["lsn"]), payload["structure"]
-            except (OSError, pickle.UnpicklingError, KeyError, EOFError,
-                    AttributeError, ImportError, IndexError):
+            except Exception:
+                # Unpickling corrupt bytes (a bit-flip anywhere in the
+                # file) can raise nearly anything -- UnpicklingError,
+                # EOFError, ValueError, TypeError, AttributeError, ... --
+                # and every one of them means the same thing: this
+                # checkpoint is unreadable, degrade to the next older one.
                 continue
         return None
 
@@ -134,17 +156,17 @@ class SnapshotStore:
         for snap_lsn in self.lsns():
             if snap_lsn >= lsn:
                 try:
-                    self._path(snap_lsn).unlink()
+                    self._io.unlink(self._path(snap_lsn))
                     removed += 1
                 except OSError:  # pragma: no cover - best-effort cleanup
                     pass
         if removed and self.fsync and self.directory.is_dir():
-            fsync_dir(self.directory)
+            self._io.fsync_dir(self.directory)
         return removed
 
     def _prune(self) -> None:
         for lsn in self.lsns()[: -self.retain]:
             try:
-                self._path(lsn).unlink()
+                self._io.unlink(self._path(lsn))
             except OSError:  # pragma: no cover - best-effort cleanup
                 pass

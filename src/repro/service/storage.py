@@ -1,0 +1,90 @@
+"""The storage I/O seam: every durable byte goes through one object.
+
+:mod:`repro.service.wal` and :mod:`repro.service.snapshot` never touch
+the filesystem directly for anything that matters to durability --
+appends, fsyncs, renames, reads, truncations, unlinks all route through
+a :class:`StorageIO` instance.  The default (:data:`REAL_IO`) is a thin
+veneer over ``os``/``pathlib``; the point of the seam is that it is
+*pluggable*: :class:`repro.chaos.faults.FaultyIO` subclasses it to
+inject seeded, deterministic transient errors, torn writes, added
+latency, and snapshot bit-flips -- the fault model the resilience
+machinery (retry, circuit breaking, degraded serving) is tested
+against.  See ``docs/resilience.md``.
+
+The seam deliberately exposes *operations*, not file handles: a fault
+injector needs to see "append this line" as one event (so it can tear
+it), not a stream of buffered ``write`` calls.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+
+class StorageIO:
+    """Real storage operations (the production default).
+
+    Subclass and override to interpose on any durable operation.  All
+    paths are ``pathlib.Path``; file objects are binary-mode handles
+    owned by the caller.
+    """
+
+    def append(self, f, data: bytes) -> None:
+        """Append ``data`` to the open binary file ``f`` and flush it.
+
+        On return the bytes are in the OS cache (crash-of-process
+        durable); call :meth:`fsync` for crash-of-machine durability.
+        """
+        f.write(data)
+        f.flush()
+
+    def fsync(self, f) -> None:
+        """Force ``f``'s written bytes through the OS cache to disk."""
+        os.fsync(f.fileno())
+
+    def fsync_dir(self, directory: str | pathlib.Path) -> None:
+        """fsync a directory so entries created/renamed in it are durable.
+
+        Creating a file makes its *bytes* durable only with an fsync of
+        the file; the *name* is durable only after the containing
+        directory is fsynced too -- a crash in between loses the
+        directory entry (the failure mode WAL rotation must not have).
+        """
+        fd = os.open(str(directory), os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def read_bytes(self, path: str | pathlib.Path) -> bytes:
+        """The full contents of ``path``."""
+        return pathlib.Path(path).read_bytes()
+
+    def read_from(self, path: str | pathlib.Path, offset: int) -> bytes:
+        """Bytes of ``path`` from ``offset`` to EOF (tailing reads)."""
+        with open(path, "rb") as f:
+            f.seek(offset)
+            return f.read()
+
+    def write_bytes(self, f, data: bytes) -> None:
+        """Write ``data`` to the open binary file ``f`` and flush it."""
+        f.write(data)
+        f.flush()
+
+    def replace(self, src: str | pathlib.Path, dst: str | pathlib.Path) -> None:
+        """Atomically rename ``src`` over ``dst`` (the publish primitive)."""
+        os.replace(src, dst)
+
+    def truncate(self, f, size: int) -> None:
+        """Truncate the open binary file ``f`` to ``size`` bytes."""
+        f.flush()
+        f.truncate(size)
+
+    def unlink(self, path: str | pathlib.Path) -> None:
+        """Delete ``path`` (callers treat ``OSError`` as best-effort)."""
+        os.unlink(path)
+
+
+#: The shared real-I/O instance used whenever no seam is injected.
+REAL_IO = StorageIO()

@@ -53,17 +53,28 @@ Crash semantics follow the standard WAL contract:
   log repairs it by truncating back to the last good record.  A bad
   record anywhere *before* the tail (i.e. one whose newline is on disk)
   is real corruption and raises :class:`WalCorruption`.
+- a *failed append* (transient I/O error, torn write, failed fsync) is
+  repaired immediately: :meth:`WriteAheadLog.append` truncates the file
+  back to the last durable record before re-raising, so a caller-level
+  retry (:class:`repro.service.resilience.RetryPolicy`) re-appends the
+  same LSN onto a clean tail instead of concatenating garbage.
+
+Every filesystem operation routes through the pluggable
+:class:`repro.service.storage.StorageIO` seam (``io=`` on every
+constructor); :class:`repro.chaos.faults.FaultyIO` plugs in there to
+inject deterministic faults.
 """
 
 from __future__ import annotations
 
 import json
-import os
 import pathlib
 import re
 import zlib
 from dataclasses import dataclass
 from typing import Sequence
+
+from repro.service.storage import REAL_IO, StorageIO
 
 WAL_SCHEMA = "repro.service/wal/v2"
 #: The pre-replication schema (no epochs, single file); still readable.
@@ -116,16 +127,10 @@ class SegmentInfo:
 def fsync_dir(directory: str | pathlib.Path) -> None:
     """fsync a directory so entries created/renamed in it are durable.
 
-    Creating a file makes its *bytes* durable only with an fsync of the
-    file; the *name* is durable only after the containing directory is
-    fsynced too -- a crash in between loses the directory entry (the
-    failure mode WAL rotation must not have).
+    Module-level convenience over :meth:`StorageIO.fsync_dir` for callers
+    outside the seam (see that method for why directories need fsyncs).
     """
-    fd = os.open(str(directory), os.O_RDONLY)
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
+    REAL_IO.fsync_dir(directory)
 
 
 def _canonical(lsn: int, ops: Sequence[Op], epoch: int | None) -> str:
@@ -203,7 +208,9 @@ def _parse_header(line: bytes) -> int | None:
     return None
 
 
-def read_wal(path: str | pathlib.Path) -> tuple[list[WalRecord], int]:
+def read_wal(
+    path: str | pathlib.Path, io: StorageIO | None = None
+) -> tuple[list[WalRecord], int]:
     """Read every durable record of the one-file log (segment) at ``path``.
 
     Returns ``(records, good_bytes)`` where ``good_bytes`` is the byte
@@ -216,7 +223,7 @@ def read_wal(path: str | pathlib.Path) -> tuple[list[WalRecord], int]:
     path = pathlib.Path(path)
     if not path.exists():
         return [], 0
-    raw = path.read_bytes()
+    raw = (io or REAL_IO).read_bytes(path)
     records: list[WalRecord] = []
     good = 0
     start: int | None = None
@@ -271,7 +278,7 @@ def list_segments(directory: str | pathlib.Path) -> list[SegmentInfo]:
 
 
 def read_wal_dir(
-    directory: str | pathlib.Path,
+    directory: str | pathlib.Path, io: StorageIO | None = None
 ) -> tuple[list[WalRecord], int]:
     """The *winning* record chain across every segment of ``directory``.
 
@@ -295,7 +302,7 @@ def read_wal_dir(
     chain: list[WalRecord] = []
     base = segs[0].start if segs else 0
     for seg in segs:
-        records = [r for r in read_wal(seg.path)[0] if not _fenced(r)]
+        records = [r for r in read_wal(seg.path, io)[0] if not _fenced(r)]
         if not records:
             continue
         first = records[0].lsn
@@ -326,14 +333,14 @@ def read_wal_dir(
 
 
 def read_records_from(
-    directory: str | pathlib.Path, start_lsn: int
+    directory: str | pathlib.Path, start_lsn: int, io: StorageIO | None = None
 ) -> list[WalRecord]:
     """Winning records with ``lsn >= start_lsn`` (replication bootstrap).
 
     Raises :class:`WalTruncated` when ``start_lsn`` precedes the oldest
     retained segment -- the caller must restore a snapshot first.
     """
-    chain, base = read_wal_dir(directory)
+    chain, base = read_wal_dir(directory, io)
     if start_lsn < base:
         raise WalTruncated(
             f"{directory}: lsn {start_lsn} precedes the oldest retained "
@@ -350,33 +357,52 @@ class WriteAheadLog:
     path writes the schema header.  ``append`` is not thread-safe by
     itself -- :class:`~repro.service.service.StreamService` serializes all
     appends behind its single-writer lock.
+
+    The appender tracks the byte offset of its durable prefix; when an
+    append fails partway (transient error, torn write, failed fsync) it
+    truncates back to that offset before re-raising, so the failed
+    record vanishes entirely and a retry starts from a clean tail.
     """
 
     def __init__(
-        self, path: str | pathlib.Path, fsync: bool = False, start: int = 0
+        self,
+        path: str | pathlib.Path,
+        fsync: bool = False,
+        start: int = 0,
+        io: StorageIO | None = None,
     ) -> None:
         self.path = pathlib.Path(path)
         self.fsync = fsync
-        records, good = read_wal(self.path)
+        self._io = io or REAL_IO
+        records, good = read_wal(self.path, self._io)
         if self.path.exists() and good < self.path.stat().st_size:
             with self.path.open("r+b") as f:
-                f.truncate(good)
+                self._io.truncate(f, good)
                 if fsync:
-                    os.fsync(f.fileno())
+                    self._io.fsync(f)
         self.start = records[0].lsn if records else start
         self._next_lsn = self.start + len(records)
         self._last_epoch = records[-1].epoch if records else 0
         fresh = not self.path.exists() or self.path.stat().st_size == 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._f = self.path.open("a", encoding="utf-8")
+        self._f = self.path.open("ab")
+        self._good = 0 if fresh else good
         if fresh:
-            self._f.write(
+            header = (
                 json.dumps({"wal": WAL_SCHEMA, "start": self.start}) + "\n"
-            )
-            self._f.flush()
-            if fsync:
-                os.fsync(self._f.fileno())
-                fsync_dir(self.path.parent)
+            ).encode("utf-8")
+            try:
+                self._io.append(self._f, header)
+                if fsync:
+                    self._io.fsync(self._f)
+                    self._io.fsync_dir(self.path.parent)
+            except Exception:
+                # A torn header is self-repairing: the next open finds no
+                # newline-terminated header line, truncates to zero, and
+                # rewrites it.  Just do not leak the handle.
+                self._f.close()
+                raise
+            self._good = len(header)
 
     @property
     def next_lsn(self) -> int:
@@ -390,11 +416,20 @@ class WriteAheadLog:
 
     @property
     def bytes_written(self) -> int:
-        """Current size of the log file in bytes."""
-        return self._f.tell() if not self._f.closed else self.path.stat().st_size
+        """Durable size of the log file in bytes."""
+        return self._good if not self._f.closed else self.path.stat().st_size
 
     def append(self, ops: Sequence[Op], epoch: int = 0) -> int:
-        """Append one round; returns its LSN once the line is durable."""
+        """Append one round; returns its LSN once the line is durable.
+
+        On *any* failure -- transient write error, torn write, failed
+        fsync -- the file is truncated back to the durable prefix before
+        the exception propagates: the half-written record is gone, the
+        LSN is not consumed, and a retry re-appends cleanly.  (After a
+        successful write but failed fsync the record's durability is
+        unknown; discarding it is the only answer that keeps the
+        "append returned means durable" contract.)
+        """
         if self._f.closed:
             raise ValueError("write-ahead log is closed")
         if epoch < self._last_epoch:
@@ -402,10 +437,15 @@ class WriteAheadLog:
                 f"epoch must be monotone: {self._last_epoch} -> {epoch}"
             )
         lsn = self._next_lsn
-        self._f.write(encode_record(lsn, ops, epoch=epoch) + "\n")
-        self._f.flush()
-        if self.fsync:
-            os.fsync(self._f.fileno())
+        line = (encode_record(lsn, ops, epoch=epoch) + "\n").encode("utf-8")
+        try:
+            self._io.append(self._f, line)
+            if self.fsync:
+                self._io.fsync(self._f)
+        except Exception:
+            self._io.truncate(self._f, self._good)
+            raise
+        self._good += len(line)
         self._next_lsn += 1
         self._last_epoch = epoch
         return lsn
@@ -413,7 +453,7 @@ class WriteAheadLog:
     def records(self) -> list[WalRecord]:
         """Re-read every durable record from disk (used by recovery)."""
         self._f.flush()
-        records, _ = read_wal(self.path)
+        records, _ = read_wal(self.path, self._io)
         return records
 
     def close(self) -> None:
@@ -449,12 +489,17 @@ class SegmentedWal:
     """
 
     def __init__(
-        self, directory: str | pathlib.Path, fsync: bool = False, epoch: int = 0
+        self,
+        directory: str | pathlib.Path,
+        fsync: bool = False,
+        epoch: int = 0,
+        io: StorageIO | None = None,
     ) -> None:
         self.directory = pathlib.Path(directory)
         self.fsync = fsync
+        self._io = io or REAL_IO
         self.directory.mkdir(parents=True, exist_ok=True)
-        chain, base = read_wal_dir(self.directory)
+        chain, base = read_wal_dir(self.directory, self._io)
         self._base = base
         self._next_lsn = base + len(chain)
         # Append to the segment that owns the chain tip: the one with the
@@ -470,7 +515,7 @@ class SegmentedWal:
                 epoch, tip_seg.epoch, chain[-1].epoch if chain else 0
             )
             self._writer = WriteAheadLog(
-                tip_seg.path, fsync=fsync, start=tip_seg.start
+                tip_seg.path, fsync=fsync, start=tip_seg.start, io=self._io
             )
         else:
             self.epoch = epoch
@@ -478,9 +523,10 @@ class SegmentedWal:
                 _segment_path(self.directory, base, self.epoch),
                 fsync=fsync,
                 start=base,
+                io=self._io,
             )
         if fsync:
-            fsync_dir(self.directory)
+            self._io.fsync_dir(self.directory)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -539,14 +585,19 @@ class SegmentedWal:
         """
         if self.is_fenced:
             return self._writer.path
-        self._writer.close()
-        self._writer = WriteAheadLog(
+        # Open the successor before closing the incumbent: if the new
+        # segment's header append fails (a transient fault), the current
+        # writer is untouched and the rotation can simply be retried.
+        successor = WriteAheadLog(
             _segment_path(self.directory, self._next_lsn, self.epoch),
             fsync=self.fsync,
             start=self._next_lsn,
+            io=self._io,
         )
+        self._writer.close()
+        self._writer = successor
         if self.fsync:
-            fsync_dir(self.directory)
+            self._io.fsync_dir(self.directory)
         return self._writer.path
 
     def reset_to(self, lsn: int, epoch: int) -> pathlib.Path:
@@ -570,10 +621,13 @@ class SegmentedWal:
         self.epoch = epoch
         self._next_lsn = lsn
         self._writer = WriteAheadLog(
-            _segment_path(self.directory, lsn, epoch), fsync=self.fsync, start=lsn
+            _segment_path(self.directory, lsn, epoch),
+            fsync=self.fsync,
+            start=lsn,
+            io=self._io,
         )
         if self.fsync:
-            fsync_dir(self.directory)
+            self._io.fsync_dir(self.directory)
         return self._writer.path
 
     def truncate_before(self, lsn: int) -> int:
@@ -587,7 +641,7 @@ class SegmentedWal:
         """
         if self.is_fenced:
             return 0
-        chain, base = read_wal_dir(self.directory)
+        chain, base = read_wal_dir(self.directory, self._io)
         if not chain:
             return 0
         # Contribution ranges: which LSNs each segment supplies to the
@@ -595,7 +649,7 @@ class SegmentedWal:
         contrib: dict[pathlib.Path, tuple[int, int] | None] = {}
         tip = base
         for seg in self.segments():
-            records, _ = read_wal(seg.path)
+            records, _ = read_wal(seg.path, self._io)
             if not records:
                 contrib[seg.path] = None
                 continue
@@ -621,13 +675,13 @@ class SegmentedWal:
             rng = contrib.get(seg.path)
             if rng is None or rng[1] < lsn:
                 try:
-                    seg.path.unlink()
+                    self._io.unlink(seg.path)
                     removed += 1
                 except OSError:  # pragma: no cover - best-effort cleanup
                     pass
         if removed:
             if self.fsync:
-                fsync_dir(self.directory)
+                self._io.fsync_dir(self.directory)
             live = self.segments()
             self._base = live[0].start if live else self._next_lsn
         return removed
@@ -637,8 +691,8 @@ class SegmentedWal:
         if not self._writer._f.closed:
             self._writer._f.flush()
         if start_lsn is None:
-            return read_wal_dir(self.directory)[0]
-        return read_records_from(self.directory, start_lsn)
+            return read_wal_dir(self.directory, self._io)[0]
+        return read_records_from(self.directory, start_lsn, self._io)
 
     def close(self) -> None:
         """Flush and close the active segment (idempotent)."""
@@ -667,9 +721,15 @@ class WalCursor:
     and reports the rejection instead of applying garbage.
     """
 
-    def __init__(self, directory: str | pathlib.Path, next_lsn: int = 0) -> None:
+    def __init__(
+        self,
+        directory: str | pathlib.Path,
+        next_lsn: int = 0,
+        io: StorageIO | None = None,
+    ) -> None:
         self.directory = pathlib.Path(directory)
         self.next_lsn = next_lsn
+        self._io = io or REAL_IO
         self._fence: tuple[int, int] = (0, 0)  # (lsn, min epoch from there)
         self._seg: SegmentInfo | None = None
         self._offset = 0
@@ -715,7 +775,21 @@ class WalCursor:
             if self._seg is None or target.path != self._seg.path:
                 self._seg = target
                 self._offset = 0
-            got = self._poll_segment(max_records, out)
+            try:
+                got = self._poll_segment(max_records, out)
+            except WalTruncated:
+                raise
+            except OSError:
+                # A transient read fault mid-poll.  If earlier iterations
+                # already shipped records, the cursor has advanced past
+                # them -- raising now would discard them while keeping the
+                # advanced position, silently skipping those rounds
+                # forever.  Deliver what we have; a persistent fault
+                # resurfaces on the next poll's *first* read, where
+                # raising is safe (no position was consumed yet).
+                if out:
+                    return out
+                raise
             if not got:
                 break
         return out
@@ -727,14 +801,15 @@ class WalCursor:
         record was appended to ``out`` or the cursor switched segments."""
         assert self._seg is not None
         try:
-            with self._seg.path.open("rb") as f:
-                f.seek(self._offset)
-                raw = f.read()
-        except OSError:
+            raw = self._io.read_from(self._seg.path, self._offset)
+        except FileNotFoundError:
             self._seg = None
             raise WalTruncated(
                 f"{self.directory}: segment vanished under the cursor"
             )
+        # Any other OSError is a *transient* read failure: the cursor's
+        # position is untouched, so the caller (Follower.catch_up under a
+        # RetryPolicy) simply polls again.
         progressed = False
         consumed = 0
         for line in raw.split(b"\n"):

@@ -313,3 +313,75 @@ def test_read_record_rejects_non_records(tmp_path):
 def test_benchmark_record_defaults_roundtrip():
     rec = BenchmarkRecord(name="bare")
     assert BenchmarkRecord.from_dict(rec.to_dict()).to_dict() == rec.to_dict()
+
+
+def _deep_model(depth=8, fanout=2):
+    cost = CostModel()
+
+    def dig(d):
+        with cost.phase(f"lvl{d}"):
+            cost.add(work=1, span=1)
+            if d < depth:
+                for _ in range(fanout if d == 1 else 1):
+                    dig(d + 1)
+
+    dig(1)
+    return cost
+
+
+def test_phase_cap_folds_depth_and_marks_collapsed():
+    from repro.obs.export import cap_phases
+
+    rec = record_from_costs("deep", _deep_model(), raw_phases=True)
+
+    def max_depth(p):
+        return 1 + max((max_depth(c) for c in p["children"]), default=0)
+
+    assert max_depth(rec.phases[0]) == 8
+    capped = cap_phases(rec.phases, max_depth=3, max_nodes=10**6)
+    assert max_depth(capped[0]) == 3
+    # Inclusive totals survive the fold; the boundary node says how many
+    # descendants it absorbed.
+    assert capped[0]["work"] == rec.phases[0]["work"]
+    frontier = capped[0]["children"][0]["children"][0]
+    assert frontier["children"] == [] and frontier["collapsed"] > 0
+    # The raw record is untouched.
+    assert max_depth(rec.phases[0]) == 8
+
+
+def test_phase_cap_node_budget_tightens_depth():
+    from repro.obs.export import cap_phases
+
+    rec = record_from_costs("deep", _deep_model(), raw_phases=True)
+    capped = cap_phases(rec.phases, max_depth=8, max_nodes=3)
+
+    def count(p):
+        return 1 + sum(count(c) for c in p["children"])
+
+    assert sum(count(p) for p in capped) <= 3
+
+
+def test_record_from_costs_caps_by_default_env_opts_out(monkeypatch):
+    from repro.obs.export import PHASE_DEPTH_CAP, RAW_PHASES_ENV
+
+    def max_depth(p):
+        return 1 + max((max_depth(c) for c in p["children"]), default=0)
+
+    monkeypatch.delenv(RAW_PHASES_ENV, raising=False)
+    rec = record_from_costs("deep", _deep_model())
+    assert max_depth(rec.phases[0]) == PHASE_DEPTH_CAP
+    assert sum(p["work"] for p in rec.phases) == rec.totals["work"]
+    monkeypatch.setenv(RAW_PHASES_ENV, "1")
+    raw = record_from_costs("deep", _deep_model())
+    assert max_depth(raw.phases[0]) == 8
+
+
+def test_from_dict_accepts_v1_and_rejects_unknown_schema():
+    from repro.obs.export import SCHEMA_V1
+
+    d = record_from_costs("r", _model_with_phases()).to_dict()
+    d["schema"] = SCHEMA_V1
+    assert BenchmarkRecord.from_dict(d).schema == SCHEMA_V1
+    d["schema"] = "repro.obs/benchmark-record/v99"
+    with pytest.raises(ValueError, match="unknown benchmark-record schema"):
+        BenchmarkRecord.from_dict(d)

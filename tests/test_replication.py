@@ -164,6 +164,62 @@ class TestSegmentedWal:
         assert "segment" in out and "lsn [0, 1)" in out
         assert main(["--wal", str(tmp_path / "empty")]) == 1
 
+    def test_report_wal_cli_corrupt_segment(self, tmp_path, capsys):
+        # Inspection must diagnose a damaged log with a clean exit code,
+        # never a traceback.
+        from repro.report import main
+        from repro.service.service import WAL_DIRNAME
+
+        svc = StreamService(
+            make_sw(), data_dir=tmp_path, config=svc_config(snapshot_every=0)
+        )
+        for _ in range(3):
+            svc.submit_insert([(0, 1)])
+            svc.flush()
+        svc.close()
+        seg = next((tmp_path / WAL_DIRNAME).glob("wal-*.jsonl"))
+        lines = seg.read_bytes().splitlines(keepends=True)
+        # Damage a record *before* the tail: unambiguous corruption, not
+        # a torn tail the reader would repair silently.
+        lines[1] = b'{"garbage": true}\n'
+        seg.write_bytes(b"".join(lines))
+        assert main(["--wal", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "corrupt WAL" in err
+
+    def test_report_wal_cli_empty_wal_dir(self, tmp_path, capsys):
+        # A data dir whose wal/ exists but holds no segments yet (crashed
+        # before the first append) renders as zero rounds, exit 0.
+        from repro.report import main
+        from repro.service.service import WAL_DIRNAME
+
+        (tmp_path / WAL_DIRNAME).mkdir(parents=True)
+        assert main(["--wal", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 segment(s)" in out and "lsn [0, 0)" in out
+
+    def test_report_wal_cli_mixed_epoch_leftovers(self, tmp_path, capsys):
+        # After a failover the directory holds the zombie's segments next
+        # to the new epoch's chain; the summary must side with the
+        # winning (highest-epoch) chain, exactly like recovery.
+        from repro.report import main
+
+        svc = ReplicatedService(
+            make_sw, tmp_path, svc_config(snapshot_every=0), followers=1
+        )
+        for rnd in stream_rounds(4):
+            svc.write(rnd.edges, rnd.expire)
+        svc.poll()
+        zombie = svc.promote(svc.followers[0])
+        zombie.submit_insert([(2, 3)])
+        zombie.flush()  # stale-epoch append, rejected by every reader
+        svc.write([(4, 5)])
+        new_epoch = svc.epoch
+        svc.close()
+        assert main(["--wal", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"epoch {new_epoch}" in out
+
 
 class TestWalCursor:
     def test_tails_across_rotation(self, tmp_path):
