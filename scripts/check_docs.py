@@ -16,7 +16,10 @@ It also checks *coverage* in the other direction: every public module
 under ``src/repro/`` (any ``.py`` file or package whose name does not
 start with ``_``) must be mentioned by dotted name in at least one doc
 page, so new code cannot land undocumented.  ``docs/api_overview.md``
-keeps a module index for exactly this purpose.
+keeps a module index for exactly this purpose.  The same goes for every
+public ``batch_*`` method on the RC-tree engine seam (both engines plus
+the :class:`DynamicForest` facade): each must be named in at least one
+doc page -- docs/batch_queries.md documents the read kernels.
 
 Exit status: 0 when every import resolves and every module is mentioned,
 1 otherwise (one line per failure).  Run directly or via
@@ -127,6 +130,37 @@ def check_module_coverage(paths: list[pathlib.Path]) -> list[str]:
     ]
 
 
+def engine_batch_methods() -> list[str]:
+    """Public ``batch_*`` methods on the RC-tree engine seam.
+
+    Collected from both engine classes plus the :class:`DynamicForest`
+    facade, so a batched entry point added to any layer of the read/update
+    path must be named somewhere in the docs.
+    """
+    from repro.trees.forest import DynamicForest
+    from repro.trees.rcarray import RCArrayForest
+    from repro.trees.rcforest import RCForest
+
+    names: set[str] = set()
+    for cls in (RCForest, RCArrayForest, DynamicForest):
+        for name, attr in vars(cls).items():
+            if name.startswith("batch_") and callable(attr):
+                names.add(name)
+    return sorted(names)
+
+
+def check_batch_method_coverage(paths: list[pathlib.Path]) -> list[str]:
+    """Failure messages for engine-seam ``batch_*`` methods no doc page
+    mentions by name (whole-word match)."""
+    corpus = "\n".join(p.read_text() for p in paths if p.exists())
+    return [
+        f"undocumented batch method: {name} "
+        "(no doc page mentions it by name)"
+        for name in engine_batch_methods()
+        if not re.search(rf"(?<!\w){re.escape(name)}(?!\w)", corpus)
+    ]
+
+
 def default_targets() -> list[pathlib.Path]:
     """The markdown files the repo promises to keep import-accurate."""
     targets = sorted((REPO_ROOT / "docs").glob("*.md"))
@@ -148,6 +182,7 @@ def main(argv: list[str]) -> int:
     if not explicit:
         # Coverage only makes sense against the full doc set.
         failures.extend(check_module_coverage(paths))
+        failures.extend(check_batch_method_coverage(paths))
     for msg in failures:
         print(msg, file=sys.stderr)
     if not failures:

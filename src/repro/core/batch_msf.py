@@ -238,53 +238,35 @@ class BatchIncrementalMSF:
         """Heaviest ``(weight, eid)`` on the MSF path ``u--v`` (O(lg n))."""
         return self.forest.path_max(u, v)
 
-    def _query_cpt(self, pairs: Sequence[tuple[int, int]]):
-        """One CPT marking every queried endpoint (the batch-read kernel).
-
-        This is where Theorem 3.2 pays off on the read path: ``l`` path
-        queries share one ``O(l lg(1 + n/l))`` CPT build instead of ``l``
-        independent ``O(lg n)`` two-vertex builds.
-        """
-        endpoints = np.fromiter(
-            (x for u, v in pairs for x in (u, v)),
-            dtype=np.int64,
-            count=2 * len(pairs),
-        )
-        marks = dedup_ints(endpoints, cost=self.cost)
-        with self.cost.phase("cpt-build") as ph:
-            cpt = self.forest.compressed_path_tree(marks.tolist())
-            ph.count(cpt.num_vertices)
-        return cpt
-
     def batch_heaviest_edges(
         self, pairs: Sequence[tuple[int, int]]
     ) -> list[tuple[float, int] | None]:
-        """Heaviest ``(weight, eid)`` per queried path, off one shared CPT.
+        """Heaviest ``(weight, eid)`` per queried path in one shared sweep.
 
-        ``O(l lg(1 + n/l))`` expected work for ``l`` pairs (one CPT build
-        answers them all); entries are ``None`` for disconnected pairs and
-        for ``u == v``.
+        This is where Theorem 3.2 pays off on the read path: ``l`` path
+        queries share one ``O(l lg(1 + n/l))`` expected-work traversal
+        (the forest's ``batch-query`` sweep -- all endpoints climb the RC
+        tree together, merging walks at common ancestors) instead of
+        ``l`` independent ``O(lg n)`` two-vertex CPT builds.  Entries are
+        ``None`` for disconnected pairs and for ``u == v``.
         """
         pairs = [(int(u), int(v)) for u, v in pairs]
         if not pairs:
             return []
-        cpt = self._query_cpt(pairs)
-        with self.cost.phase("cpt-query", items=len(pairs)):
-            out = [None if u == v else cpt.path_max(u, v) for u, v in pairs]
+        out = self.forest.batch_path_max(pairs)
         get_metrics().counter("batch_msf.path_queries").inc(len(pairs))
         return out
 
     def batch_connected(
         self, pairs: Sequence[tuple[int, int]]
     ) -> list[bool]:
-        """Connectivity per queried pair, off one shared CPT
-        (``O(l lg(1 + n/l))`` expected work for ``l`` pairs)."""
+        """Connectivity per queried pair in one shared root-walk sweep
+        (``O(l lg(1 + n/l))`` expected work for ``l`` pairs; see
+        :meth:`batch_heaviest_edges`)."""
         pairs = [(int(u), int(v)) for u, v in pairs]
         if not pairs:
             return []
-        cpt = self._query_cpt(pairs)
-        with self.cost.phase("cpt-query", items=len(pairs)):
-            out = [cpt.connected(u, v) for u, v in pairs]
+        out = self.forest.batch_connected(pairs)
         get_metrics().counter("batch_msf.path_queries").inc(len(pairs))
         return out
 

@@ -1,12 +1,13 @@
 """Consistent batch reads over a replicated window structure.
 
 :class:`QueryService` is the read-side twin of the ingest path: clients
-submit *batches* of queries -- exactly the shape the paper's compressed
-path trees reward, since ``l`` path/connectivity queries against one CPT
-cost ``O(l lg(1 + n/l))`` total (Theorem 3.2) rather than ``l``
-independent ``O(lg n)`` searches -- and the service routes each batch to
-the **least-lagged live follower**, falling back to the primary when no
-replica can serve.
+submit *batches* of queries -- exactly the shape the RC-tree batch read
+kernels reward, since ``l`` path/connectivity queries share one
+level-synchronous sweep costing ``O(l lg(1 + n/l))`` total (the
+Theorem 3.2 grouping over ``docs/batch_queries.md``'s vectorized
+kernels) rather than ``l`` independent ``O(lg n)`` searches -- and the
+service routes each batch to the **least-lagged live follower**, falling
+back to the primary when no replica can serve.
 
 Consistency is by LSN token.  Every ``ReplicatedService.write`` returns
 the LSN of its round; a read tagged ``at_least=lsn`` is answered only by
@@ -45,7 +46,7 @@ The router also carries the read side of the resilience story
 
 Query batches are lists of tuples::
 
-    ("connected", u, v)     window connectivity (batched via one CPT)
+    ("connected", u, v)     window connectivity (batched: one shared sweep)
     ("path_max", u, v)      heaviest (weight, eid) on the tree path
     ("components",)         number of connected components
     ("weight",)             (approximate) MSF weight
@@ -124,25 +125,66 @@ _SCALAR_QUERIES = {
 }
 
 
+#: ``kind -> (batched method, per-query fallback)`` for the pair reads.
+_READ_GROUPS = {
+    "connected": ("batch_is_connected", "is_connected"),
+    "path_max": ("batch_heaviest_edges", "heaviest_edge"),
+}
+
+
+def _group_reads(structure: Any, grouped: dict, answers: list) -> None:
+    """Dispatch the grouped pair reads through the structure's batched
+    entry points (the vectorized read path).
+
+    ``grouped`` maps a kind of :data:`_READ_GROUPS` to its
+    ``(query index, u, v)`` items.  Each group prefers the structure's
+    ``batch_*`` method (one shared RC-tree sweep for the whole group);
+    a group whose batched method is missing falls back to the per-query
+    method **and emits a ``query.fallback`` metric** -- a structure with
+    mixed batch capability (say ``batch_is_connected`` but no
+    ``batch_heaviest_edges``) must not silently degrade half its reads
+    to per-query traversals.
+    """
+    m = get_metrics()
+    for kind, items in grouped.items():
+        if not items:
+            continue
+        batch_name, single_name = _READ_GROUPS[kind]
+        batch = getattr(structure, batch_name, None)
+        if batch is not None:
+            results = batch([(u, v) for _, u, v in items])
+        else:
+            single = getattr(structure, single_name, None)
+            if single is None:
+                raise UnsupportedQuery(
+                    f"{type(structure).__name__} cannot answer {kind!r}"
+                )
+            m.counter("query.fallback").inc(len(items))
+            m.counter(f"query.fallback.{kind}").inc(len(items))
+            results = [single(u, v) for _, u, v in items]
+        for (i, _, _), r in zip(items, results):
+            answers[i] = r
+
+
 def answer_queries(structure: Any, queries: Sequence[tuple]) -> list:
     """Answer one batch against ``structure`` directly (no routing).
 
     Groups the pair queries so all ``connected`` (and all ``path_max``)
-    entries share a single CPT build via the structure's batched entry
-    points when it has them.
+    entries dispatch through the structure's batched entry points when it
+    has them -- one shared RC-tree sweep per group (Theorem 3.2 grouping
+    over the vectorized ``batch-query`` kernels).
     """
     answers: list = [None] * len(queries)
-    connected: list[tuple[int, int, int]] = []
-    path_max: list[tuple[int, int, int]] = []
+    grouped: dict[str, list[tuple[int, int, int]]] = {
+        kind: [] for kind in _READ_GROUPS
+    }
     cost = getattr(structure, "cost", None)
     charge = cost if cost is not None else CostModel(enabled=False)
     with charge.phase("query-read", items=len(queries)):
         for i, q in enumerate(queries):
             kind = q[0]
-            if kind == "connected":
-                connected.append((i, int(q[1]), int(q[2])))
-            elif kind == "path_max":
-                path_max.append((i, int(q[1]), int(q[2])))
+            if kind in _READ_GROUPS:
+                grouped[kind].append((i, int(q[1]), int(q[2])))
             elif kind in _SCALAR_QUERIES:
                 attr, is_prop = _SCALAR_QUERIES[kind]
                 target = getattr(structure, attr, None)
@@ -153,32 +195,7 @@ def answer_queries(structure: Any, queries: Sequence[tuple]) -> list:
                 answers[i] = target if is_prop else target()
             else:
                 raise UnsupportedQuery(f"unknown query kind {kind!r}")
-        if connected:
-            batch = getattr(structure, "batch_is_connected", None)
-            if batch is not None:
-                results = batch([(u, v) for _, u, v in connected])
-            else:
-                single = getattr(structure, "is_connected", None)
-                if single is None:
-                    raise UnsupportedQuery(
-                        f"{type(structure).__name__} cannot answer 'connected'"
-                    )
-                results = [single(u, v) for _, u, v in connected]
-            for (i, _, _), r in zip(connected, results):
-                answers[i] = r
-        if path_max:
-            batch = getattr(structure, "batch_heaviest_edges", None)
-            if batch is not None:
-                results = batch([(u, v) for _, u, v in path_max])
-            else:
-                single = getattr(structure, "heaviest_edge", None)
-                if single is None:
-                    raise UnsupportedQuery(
-                        f"{type(structure).__name__} cannot answer 'path_max'"
-                    )
-                results = [single(u, v) for _, u, v in path_max]
-            for (i, _, _), r in zip(path_max, results):
-                answers[i] = r
+        _group_reads(structure, grouped, answers)
     return answers
 
 
@@ -254,6 +271,10 @@ class QueryService:
         # "one drain interval" is roughly how long one batch takes.
         self._latency_ewma = 0.0
         self._rr = 0  # round-robin tie-break among least-lagged replicas
+
+    #: The read-grouping dispatcher (documented entry point; also used by
+    #: :func:`answer_queries` for unrouted reads).
+    _group_reads = staticmethod(_group_reads)
 
     def run(
         self,

@@ -134,6 +134,35 @@ class SWApproxMSFWeight:
             total += (cc[i - 1] - cc[i]) * self._threshold(i)
         return total
 
+    def is_connected(self, u: int, v: int) -> bool:
+        """Window connectivity, answered by the top level (its threshold
+        is ``>= W``, so it sees every window edge)."""
+        top = self.num_levels - 1
+        return parallel_regions(
+            self.cost,
+            [(self._level_costs[top], lambda: self._levels[top].is_connected(u, v))],
+        )[0]
+
+    def batch_is_connected(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> list[bool]:
+        """Window connectivity for a whole pair batch off one shared
+        ``batch-query`` sweep of the top level (see
+        docs/batch_queries.md)."""
+        if not pairs:
+            return []
+        top = self.num_levels - 1
+        with self.cost.phase("window-query", items=len(pairs)):
+            return parallel_regions(
+                self.cost,
+                [
+                    (
+                        self._level_costs[top],
+                        lambda: self._levels[top].batch_is_connected(pairs),
+                    )
+                ],
+            )[0]
+
     @property
     def window_size(self) -> int:
         """Number of unexpired stream items."""

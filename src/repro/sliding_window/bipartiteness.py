@@ -83,6 +83,26 @@ class SWBipartiteness:
         each isolated original vertex contributes two cover singletons)."""
         return self._cover.num_components == 2 * self._g.num_components
 
+    def is_connected(self, u: int, v: int) -> bool:
+        """Window connectivity, answered by the window-graph structure."""
+        return parallel_regions(
+            self.cost, [(self._g_cost, lambda: self._g.is_connected(u, v))]
+        )[0]
+
+    def batch_is_connected(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> list[bool]:
+        """Window connectivity for a whole pair batch off one shared
+        ``batch-query`` sweep of the window-graph forest (see
+        docs/batch_queries.md)."""
+        if not pairs:
+            return []
+        with self.cost.phase("window-query", items=len(pairs)):
+            return parallel_regions(
+                self.cost,
+                [(self._g_cost, lambda: self._g.batch_is_connected(pairs))],
+            )[0]
+
     @property
     def num_components(self) -> int:
         """Components of the window graph (O(1))."""

@@ -91,8 +91,9 @@ class SWConnectivity:
     ) -> list[bool]:
         """Window connectivity for a whole batch of pairs at once.
 
-        ``l`` queries share one CPT build -- ``O(l lg(1 + n/l))`` expected
-        work total (Theorem 3.2) instead of ``l`` independent ``O(lg n)``
+        ``l`` queries share one ``batch-query`` sweep of the RC tree --
+        ``O(l lg(1 + n/l))`` expected work total (Theorem 3.2; see
+        docs/batch_queries.md) instead of ``l`` independent ``O(lg n)``
         path maxima.  Answers match :meth:`is_connected` exactly.
         """
         with self.cost.phase("window-query", items=len(pairs)):
@@ -119,7 +120,8 @@ class SWConnectivity:
     def batch_heaviest_edges(
         self, pairs: Sequence[tuple[int, int]]
     ) -> list[tuple[float, int] | None]:
-        """:meth:`heaviest_edge` for a whole batch off one CPT build."""
+        """:meth:`heaviest_edge` for a whole batch off one shared
+        ``batch-query`` sweep."""
         with self.cost.phase("window-query", items=len(pairs)):
             return self._msf.batch_heaviest_edges(pairs)
 
@@ -194,8 +196,9 @@ class SWConnectivityEager(SWConnectivity):
     def batch_is_connected(
         self, pairs: Sequence[tuple[int, int]]
     ) -> list[bool]:
-        """Batched connectivity off one CPT; the eager forest holds only
-        unexpired edges, so plain tree connectivity suffices."""
+        """Batched connectivity off one shared root-walk sweep; the eager
+        forest holds only unexpired edges, so plain tree connectivity
+        suffices."""
         with self.cost.phase("window-query", items=len(pairs)):
             conn = self._msf.batch_connected(pairs)
         return [u == v or c for (u, v), c in zip(pairs, conn)]

@@ -71,6 +71,18 @@ class SWCycleFree:
         """O(1): the second forest is non-empty iff a cycle is in-window."""
         return bool(self._loop_taus) or self._cert.certificate_sizes()[1] > 0
 
+    def is_connected(self, u: int, v: int) -> bool:
+        """Window connectivity via the inner certificate's ``F_1``, which
+        spans every window component."""
+        return self._cert.is_connected(u, v)
+
+    def batch_is_connected(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> list[bool]:
+        """Batched window connectivity off one shared ``batch-query``
+        sweep of the certificate's ``F_1`` (see docs/batch_queries.md)."""
+        return self._cert.batch_is_connected(pairs)
+
     @property
     def window_size(self) -> int:
         """Number of unexpired stream items."""

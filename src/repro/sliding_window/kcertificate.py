@@ -132,6 +132,51 @@ class SWKCertificate:
                 break
         return bound
 
+    def is_connected(self, u: int, v: int) -> bool:
+        """Window connectivity: ``F_1`` spans every window component, so
+        connectivity there is connectivity in the window graph."""
+        return u == v or self._forests[0].connected(u, v)
+
+    def batch_is_connected(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> list[bool]:
+        """Window connectivity for a whole pair batch off one shared
+        ``batch-query`` root-walk sweep of ``F_1`` (Theorem 3.2; see
+        docs/batch_queries.md)."""
+        if not pairs:
+            return []
+        with self.cost.phase("window-query", items=len(pairs)):
+            conn = self._forests[0].batch_connected(pairs)
+        return [u == v or c for (u, v), c in zip(pairs, conn)]
+
+    def batch_connectivity_lower_bounds(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> list[int]:
+        """:meth:`connectivity_lower_bound` for a whole pair batch.
+
+        One shared ``batch-query`` sweep per forest level, and a pair
+        stops participating once it first disconnects, so the total work
+        is ``sum_i O(l_i lg(1 + n/l_i))`` with ``l_i`` the pairs still
+        connected through ``F_{i-1}``.
+        """
+        if not pairs:
+            return []
+        bounds = [0] * len(pairs)
+        active = list(range(len(pairs)))
+        with self.cost.phase("window-query", items=len(pairs)):
+            for i, forest in enumerate(self._forests, start=1):
+                if not active:
+                    break
+                conn = forest.batch_connected([pairs[j] for j in active])
+                nxt = []
+                for j, c in zip(active, conn):
+                    u, v = pairs[j]
+                    if u == v or c:
+                        bounds[j] = i
+                        nxt.append(j)
+                active = nxt
+        return bounds
+
     @property
     def window_size(self) -> int:
         """Number of unexpired stream items."""

@@ -195,6 +195,32 @@ class SWSparsifier:
                 break
         return level
 
+    def is_connected(self, u: int, v: int) -> bool:
+        """Window connectivity via ``G_0`` (the unsampled level, which is
+        the window graph itself)."""
+        return parallel_regions(
+            self.cost,
+            [(self._conn_costs[(0, 0)], lambda: self._conn[(0, 0)].is_connected(u, v))],
+        )[0]
+
+    def batch_is_connected(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> list[bool]:
+        """Window connectivity for a whole pair batch off one shared
+        ``batch-query`` sweep of ``G_0`` (see docs/batch_queries.md)."""
+        if not pairs:
+            return []
+        with self.cost.phase("window-query", items=len(pairs)):
+            return parallel_regions(
+                self.cost,
+                [
+                    (
+                        self._conn_costs[(0, 0)],
+                        lambda: self._conn[(0, 0)].batch_is_connected(pairs),
+                    )
+                ],
+            )[0]
+
     def _sample_probability(self, level: int) -> float:
         lg_n = math.log2(max(self.n, 2))
         return min(

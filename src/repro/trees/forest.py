@@ -143,6 +143,52 @@ class DynamicForest:
         """Whether ``u`` and ``v`` are in the same tree (O(lg n) w.h.p.)."""
         return self.rc.connected(self.ternary.canonical(u), self.ternary.canonical(v))
 
+    def _canonical_pairs(self, pairs) -> list[tuple[int, int]]:
+        out = []
+        canon = self.ternary.canonicals
+        for u, v in pairs:
+            u, v = int(u), int(v)
+            if not (0 <= u < self.n):
+                raise KeyError(f"vertex {u} out of range")
+            if not (0 <= v < self.n):
+                raise KeyError(f"vertex {v} out of range")
+            out.append((canon[u], canon[v]))
+        return out
+
+    def batch_connected(self, pairs: Sequence[tuple[int, int]]) -> list[bool]:
+        """:meth:`connected` for a whole batch of pairs in one shared
+        root-walk sweep (phase ``batch-query`` wrapping the engine's
+        ``bq-roots``); ``l`` queries cost ``O(l lg(1 + n/l))`` expected
+        work at ``O(lg n)`` span instead of ``l`` root walks."""
+        mapped = self._canonical_pairs(pairs)
+        if not mapped:
+            return []
+        with self.cost.phase("batch-query", items=len(mapped)):
+            return self.rc.batch_is_connected(mapped)
+
+    def batch_path_max(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> list[tuple[float, int] | None]:
+        """:meth:`path_max` for a whole batch of pairs; ``None`` per pair
+        when disconnected or ``u == v``.
+
+        One shared engine sweep (phase ``batch-query`` wrapping
+        ``bq-roots``/``bq-paths``) instead of one compressed path tree
+        per query; answers match :meth:`path_max` exactly.  Virtual
+        ternarization links weigh ``-inf`` with negative eids, so a real
+        edge always wins the max and the reported ``(w, eid)`` is a
+        physical edge.
+        """
+        mapped = self._canonical_pairs(pairs)
+        if not mapped:
+            return []
+        with self.cost.phase("batch-query", items=len(mapped)):
+            raw = self.rc.batch_path_max(mapped)
+        # A connected distinct original pair can never see an all-virtual
+        # path (distinct originals are joined through real edges), so a
+        # non-None answer is always a physical edge.
+        return raw
+
     def path_max(self, u: int, v: int) -> tuple[float, int] | None:
         """Heaviest ``(weight, eid)`` on the tree path ``u -- v``.
 

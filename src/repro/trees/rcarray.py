@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.runtime.cost import CostModel, log2ceil
 from repro.runtime.hashing import HashBits
+from repro.trees import batchquery
 from repro.trees.engine import ComponentSummary
 from repro.trees.ternary import InternalLink
 
@@ -85,6 +86,50 @@ def _lexmax3(w1, x1, y1, w2, x2, y2):
     """Vectorized first-wins max of ``(w, x, y)`` triples."""
     t = (w1 > w2) | ((w1 == w2) & ((x1 > x2) | ((x1 == x2) & (y1 >= y2))))
     return np.where(t, w1, w2), np.where(t, x1, x2), np.where(t, y1, y2)
+
+
+class _ArrayAdapter:
+    """Int-node-id adapter feeding :mod:`repro.trees.batchquery`'s scalar
+    reference loops (the under-``DENSE_THRESHOLD`` path)."""
+
+    __slots__ = ("f",)
+
+    def __init__(self, f: "RCArrayForest") -> None:
+        self.f = f
+
+    def leaf(self, v):
+        return int(self.f._vl[v])
+
+    def parent(self, n):
+        p = int(self.f._npar[n])
+        return None if p == -1 else p
+
+    def is_vertex(self, n):
+        return self.f._nk[n] == _K_VERTEX
+
+    def rep(self, n):
+        return int(self.f._nrep[n])
+
+    def b0(self, n):
+        return int(self.f._nb0[n])
+
+    def b1(self, n):
+        return int(self.f._nb1[n])
+
+    def nnb(self, n):
+        return int(self.f._nnb[n])
+
+    def e1(self, n):
+        return int(self.f._ne1[n])
+
+    def e2(self, n):
+        return int(self.f._ne2[n])
+
+    def pw(self, n):
+        return float(self.f._npw[n])
+
+    def pe(self, n):
+        return int(self.f._npe[n])
 
 
 class RCArrayForest:
@@ -200,6 +245,13 @@ class RCArrayForest:
         self._ndw = ext(g("_ndw"), _NEG, np.float64)
         self._ndx = ext(g("_ndx"), -1, np.int64)
         self._ndy = ext(g("_ndy"), -1, np.int64)
+        # Oriented binary children of composites (-1 when absent): _ne1
+        # is the binary child adjacent to nb0, _ne2 the one adjacent to
+        # nb1.  Consumed by the batch read kernels; deliberately NOT part
+        # of the parent-visible signature or snapshots (node ids are
+        # engine-internal).
+        self._ne1 = ext(g("_ne1"), -1, np.int64)
+        self._ne2 = ext(g("_ne2"), -1, np.int64)
         self._ncap = cap
 
     def _new_node(self, kind: int, rep: int = -1, eid: int = -1) -> int:
@@ -364,6 +416,221 @@ class RCArrayForest:
     def connected(self, u: int, v: int) -> bool:
         """Same-tree test via root clusters (O(lg n) w.h.p.)."""
         return self.root_id(u) == self.root_id(v)
+
+    # -- batched reads (level-synchronous SoA sweeps) -------------------
+
+    def batch_is_connected(self, pairs) -> list[bool]:
+        """Same-tree test for a whole batch of pairs in one shared sweep.
+
+        All distinct endpoints climb to their roots simultaneously;
+        walks that merge share every remaining parent lookup, so ``l``
+        queries cost ``O(l lg(1 + n/l))`` expected work at ``O(lg n)``
+        span (phase ``bq-roots``) instead of ``l`` independent root
+        walks.  Batches under ``DENSE_THRESHOLD`` run the scalar
+        reference loop; both paths are answer- and cost-identical.
+
+        >>> from repro.trees.rcarray import RCArrayForest
+        >>> from repro.trees.ternary import InternalLink
+        >>> f = RCArrayForest(range(4), seed=1)
+        >>> f.batch_update(links=[InternalLink(0, 1, 5.0, 10),
+        ...                       InternalLink(1, 2, 7.0, 11)])
+        >>> f.batch_is_connected([(0, 2), (0, 3), (2, 2)])
+        [True, False, True]
+        """
+        pairs = batchquery.normalize_pairs(pairs, self._require_vertex)
+        if not pairs:
+            return []
+        if len(pairs) < self.DENSE_THRESHOLD:
+            return batchquery.batch_is_connected(
+                _ArrayAdapter(self), pairs, self.cost
+            )
+        l = len(pairs)
+        with self.cost.phase("bq-roots", items=l):
+            pa = np.asarray(pairs, np.int64)
+            verts, inv = np.unique(pa.reshape(-1), return_inverse=True)
+            root, _, work, rounds = self._roots_sweep(verts)
+            self.cost.add(work=work + 3 * l, span=rounds + 2)
+        r = root[inv].reshape(-1, 2)
+        return (r[:, 0] == r[:, 1]).tolist()
+
+    def batch_path_max(self, pairs) -> list[tuple[float, int] | None]:
+        """Heaviest ``(w, eid)`` per tree path for a batch of pairs.
+
+        ``None`` for ``u == v`` or disconnected pairs.  Two phases: the
+        shared root walk of :meth:`batch_is_connected` (``bq-roots``,
+        which also records leaf depths), then a depth-lockstep climb of
+        every distinct connected pair carrying per-side boundary
+        aggregates until the two sides meet at their cluster-tree LCA
+        (``bq-paths``).  Scalar fallback under ``DENSE_THRESHOLD`` as
+        elsewhere; answers match the per-query CPT path exactly.
+
+        >>> from repro.trees.rcarray import RCArrayForest
+        >>> from repro.trees.ternary import InternalLink
+        >>> f = RCArrayForest(range(4), seed=1)
+        >>> f.batch_update(links=[InternalLink(0, 1, 5.0, 10),
+        ...                       InternalLink(1, 2, 7.0, 11)])
+        >>> f.batch_path_max([(0, 2), (0, 1), (0, 3), (1, 1)])
+        [(7.0, 11), (5.0, 10), None, None]
+        """
+        pairs = batchquery.normalize_pairs(pairs, self._require_vertex)
+        if not pairs:
+            return []
+        if len(pairs) < self.DENSE_THRESHOLD:
+            return batchquery.batch_path_max(
+                _ArrayAdapter(self), pairs, self.cost
+            )
+        l = len(pairs)
+        pa = np.asarray(pairs, np.int64)
+        ne = pa[:, 0] != pa[:, 1]
+        with self.cost.phase("bq-roots", items=l):
+            verts, inv = np.unique(pa[ne].reshape(-1), return_inverse=True)
+            root, depth, work, rounds = self._roots_sweep(verts)
+            self.cost.add(work=work + 3 * l, span=rounds + 2)
+        ans: list[tuple[float, int] | None] = [None] * l
+        ridx = np.flatnonzero(ne)
+        if ridx.size:
+            rr = root[inv].reshape(-1, 2)
+            conn = rr[:, 0] == rr[:, 1]
+            ridx = ridx[conn]
+        if ridx.size:
+            u_, v_ = pa[ridx, 0], pa[ridx, 1]
+            a_ = np.minimum(u_, v_)
+            b_ = np.maximum(u_, v_)
+            key = (a_ << 32) | b_
+            _, uidx, kinv = np.unique(
+                key, return_index=True, return_inverse=True
+            )
+            A, B = a_[uidx], b_[uidx]
+            m = A.size
+            da = depth[np.searchsorted(verts, A)].copy()
+            db = depth[np.searchsorted(verts, B)].copy()
+            with self.cost.phase("bq-paths", items=m):
+                resw, rese, work, rounds = self._paths_sweep(
+                    self._vl[A].copy(), self._vl[B].copy(), da, db
+                )
+                self.cost.add(work=m + work + l, span=rounds + 2)
+            rw = resw[kinv].tolist()
+            re = rese[kinv].tolist()
+            for i, w_, e_ in zip(ridx.tolist(), rw, re):
+                ans[i] = (w_, e_)
+        else:
+            with self.cost.phase("bq-paths", items=0):
+                self.cost.add(work=l, span=2)
+        return ans
+
+    def _roots_sweep(self, verts):
+        """Vectorized shared root walk over distinct vertex ids: returns
+        ``(root, depth, work, rounds)`` aligned with ``verts`` (the
+        charge formula lives in :mod:`repro.trees.batchquery`)."""
+        cur = self._vl[verts].copy()
+        root = np.full(verts.size, -1, np.int64)
+        depth = np.zeros(verts.size, np.int64)
+        act = np.arange(verts.size)
+        npar = self._npar
+        work = 0
+        rounds = 0
+        while act.size:
+            rounds += 1
+            un, uinv = np.unique(cur[act], return_inverse=True)
+            work += un.size
+            p = npar[un][uinv]
+            done = p == -1
+            di = act[done]
+            root[di] = cur[di]
+            depth[di] = rounds - 1
+            live = ~done
+            cur[act[live]] = p[live]
+            act = act[live]
+        return root, depth, work, rounds
+
+    def _to_rep_vec(self, c, r, w0, e0, w1, e1):
+        """Vectorized ``batchquery._to_rep``: per-side aggregate from the
+        query vertex to ``r``, given current clusters ``c``."""
+        isv = self._nk[c] == _K_VERTEX
+        sel0 = self._nb0[c] == r
+        w = np.where(isv, _NEG, np.where(sel0, w0, w1))
+        e = np.where(isv, batchquery.EMPTY_E, np.where(sel0, e0, e1))
+        return w, e
+
+    def _advance_vec(self, cn, w0, e0, w1, e1, idx):
+        """Vectorized ``batchquery._advance``: climb the rows ``idx`` of
+        one side into their parents, rebasing boundary aggregates
+        in-place."""
+        nb0, nb1 = self._nb0, self._nb1
+        npw, npe = self._npw, self._npe
+        c = cn[idx]
+        P = self._npar[c]
+        r = self._nrep[P]
+        arw, are = self._to_rep_vec(c, r, w0[idx], e0[idx], w1[idx], e1[idx])
+        E1 = self._ne1[P]
+        cw0, ce0 = _lexmax2(arw, are, npw[E1], npe[E1])
+        ise1 = c == E1
+        csel = nb0[c] == nb0[P]
+        na0w = np.where(ise1, np.where(csel, w0[idx], w1[idx]), cw0)
+        na0e = np.where(ise1, np.where(csel, e0[idx], e1[idx]), ce0)
+        # ne2 is -1 on unary parents: the gather at row -1 is garbage but
+        # every lane it feeds is masked off by ``hasb1`` below.
+        hasb1 = self._nnb[P] == 2
+        E2 = self._ne2[P]
+        cw1, ce1 = _lexmax2(arw, are, npw[E2], npe[E2])
+        ise2 = c == E2
+        csel2 = nb0[c] == nb1[P]
+        na1w = np.where(ise2, np.where(csel2, w0[idx], w1[idx]), cw1)
+        na1e = np.where(ise2, np.where(csel2, e0[idx], e1[idx]), ce1)
+        w0[idx] = na0w
+        e0[idx] = na0e
+        w1[idx] = np.where(hasb1, na1w, _NEG)
+        e1[idx] = np.where(hasb1, na1e, batchquery.EMPTY_E)
+        cn[idx] = P
+
+    def _paths_sweep(self, can, cbn, da, db):
+        """Vectorized depth-lockstep climb of distinct connected pairs;
+        returns ``(resw, rese, work, rounds)``."""
+        m = can.size
+        EE = batchquery.EMPTY_E
+        a0w = np.full(m, _NEG)
+        a0e = np.full(m, EE, np.int64)
+        a1w = np.full(m, _NEG)
+        a1e = np.full(m, EE, np.int64)
+        b0w = np.full(m, _NEG)
+        b0e = np.full(m, EE, np.int64)
+        b1w = np.full(m, _NEG)
+        b1e = np.full(m, EE, np.int64)
+        resw = np.empty(m)
+        rese = np.empty(m, np.int64)
+        act = np.arange(m)
+        npar, nrep = self._npar, self._nrep
+        work = 0
+        rounds = 0
+        while act.size:
+            rounds += 1
+            daA, dbA = da[act], db[act]
+            eq = daA == dbA
+            meet = eq & (npar[can[act]] == npar[cbn[act]])
+            res = act[meet]
+            if res.size:
+                work += res.size
+                r = nrep[npar[can[res]]]
+                wA, eA = self._to_rep_vec(
+                    can[res], r, a0w[res], a0e[res], a1w[res], a1e[res]
+                )
+                wB, eB = self._to_rep_vec(
+                    cbn[res], r, b0w[res], b0e[res], b1w[res], b1e[res]
+                )
+                resw[res], rese[res] = _lexmax2(wA, eA, wB, eB)
+            step = eq & ~meet
+            adv_a = act[step | (daA > dbA)]
+            adv_b = act[step | (dbA > daA)]
+            if adv_a.size:
+                work += adv_a.size
+                self._advance_vec(can, a0w, a0e, a1w, a1e, adv_a)
+                da[adv_a] -= 1
+            if adv_b.size:
+                work += adv_b.size
+                self._advance_vec(cbn, b0w, b0e, b1w, b1e, adv_b)
+                db[adv_b] -= 1
+            act = act[~meet]
+        return resw, rese, work, rounds
 
     def component_summary(self, v: int) -> ComponentSummary:
         """Aggregates of ``v``'s root cluster (O(lg n) root walk)."""
@@ -1221,6 +1488,8 @@ class RCArrayForest:
             self._nnb[node] = 1
             self._nb0[node] = u
             self._nb1[node] = -1
+            self._ne1[node] = e
+            self._ne2[node] = -1
             self._npw[node] = _NEG
             self._npe[node] = -1
             self._nps[node] = 0.0
@@ -1262,6 +1531,8 @@ class RCArrayForest:
             self._nnb[node] = 2
             self._nb0[node] = u
             self._nb1[node] = w
+            self._ne1[node] = e1
+            self._ne2[node] = e2
             if (p1w, p1e) >= (p2w, p2e):
                 self._npw[node] = p1w
                 self._npe[node] = p1e
@@ -1316,6 +1587,8 @@ class RCArrayForest:
             self._nnb[node] = 0
             self._nb0[node] = -1
             self._nb1[node] = -1
+            self._ne1[node] = -1
+            self._ne2[node] = -1
             self._npw[node] = _NEG
             self._npe[node] = -1
             self._nps[node] = 0.0
@@ -1555,6 +1828,10 @@ class RCArrayForest:
         n_dw = gdw.copy()
         n_dx = gdx.copy()
         n_dy = gdy.copy()
+        # Oriented binary children (not parent-visible: excluded from the
+        # `changed` signature comparison below).
+        n_e1 = np.full(n, -1, np.int64)
+        n_e2 = np.full(n, -1, np.int64)
 
         fin = np.flatnonzero(tags == _T_FINAL)
         if fin.size:
@@ -1589,6 +1866,7 @@ class RCArrayForest:
             n_nb[idx] = 1
             n_b0[idx] = uR
             n_b1[idx] = -1
+            n_e1[idx] = eR
             n_pw[idx] = _NEG
             n_pe[idx] = -1
             n_1w[idx] = _NEG
@@ -1646,6 +1924,8 @@ class RCArrayForest:
             n_nb[idx] = 2
             n_b0[idx] = uC
             n_b1[idx] = wC
+            n_e1[idx] = eA
+            n_e2[idx] = eB
             n_pw[idx] = np.where(take1, p1w, p2w)
             n_pe[idx] = np.where(take1, p1e, p2e)
             n_ps[idx] = p1s + p2s
@@ -1682,6 +1962,8 @@ class RCArrayForest:
         self._ndw[nodes] = n_dw
         self._ndx[nodes] = n_dx
         self._ndy[nodes] = n_dy
+        self._ne1[nodes] = n_e1
+        self._ne2[nodes] = n_e2
         self._nlevel[nodes] = lvl
 
         # Children bookkeeping: guarded resets for dropped children first,

@@ -41,6 +41,7 @@ from typing import Iterable
 
 from repro.runtime.cost import CostModel, log2ceil
 from repro.runtime.hashing import HashBits
+from repro.trees import batchquery
 from repro.trees.cluster import ClusterKind, ClusterNode
 from repro.trees.ternary import InternalLink
 
@@ -53,6 +54,60 @@ _MAX_LEVELS = 4096  # hard safety cap; ~lg n levels are used in practice
 
 def _pair(a: int, b: int) -> tuple[int, int]:
     return (a, b) if a < b else (b, a)
+
+
+class _ObjectAdapter:
+    """``ClusterNode``-handle adapter feeding the shared batch read
+    kernels of :mod:`repro.trees.batchquery`."""
+
+    __slots__ = ("f",)
+
+    def __init__(self, f: "RCForest") -> None:
+        self.f = f
+
+    def leaf(self, v):
+        return self.f.vleaf[v]
+
+    def parent(self, n):
+        return n.parent
+
+    def is_vertex(self, n):
+        return n.kind is ClusterKind.VERTEX
+
+    def rep(self, n):
+        return n.rep
+
+    def b0(self, n):
+        return n.boundary[0]
+
+    def b1(self, n):
+        return n.boundary[1]
+
+    def nnb(self, n):
+        return len(n.boundary)
+
+    def _bin_child(self, P, b):
+        # The binary child adjacent to boundary vertex ``b`` of P.  The
+        # other binary child's boundary is {rep(P), other-b}, so the
+        # match is unambiguous (the array engine stores this as _ne1/_ne2).
+        for c in P.children:
+            if c.is_binary() and b in c.boundary:
+                return c
+        raise AssertionError(
+            f"no binary child adjacent to {b} under {P!r}"
+        )  # pragma: no cover - structural invariant
+
+    def e1(self, P):
+        return self._bin_child(P, P.boundary[0])
+
+    def e2(self, P):
+        return self._bin_child(P, P.boundary[1])
+
+    def pw(self, n):
+        return n.path_w
+
+    def pe(self, n):
+        return n.path_eid
 
 
 def _aug_signature(node: ClusterNode) -> tuple:
@@ -200,6 +255,58 @@ class RCForest:
     def connected(self, u: int, v: int) -> bool:
         """Same-tree test via root clusters (O(lg n) w.h.p.)."""
         return self.root_cluster(u) is self.root_cluster(v)
+
+    # -- batched reads (loop-based reference implementation) ------------
+
+    def batch_is_connected(self, pairs) -> list[bool]:
+        """Same-tree test for a batch of pairs off one shared root walk.
+
+        Loop-based reference for ``RCArrayForest.batch_is_connected``:
+        identical answers and identical ``bq-roots`` work/span charges,
+        one dict-driven level at a time instead of NumPy gathers.
+
+        >>> from repro.trees.rcforest import RCForest
+        >>> from repro.trees.ternary import InternalLink
+        >>> f = RCForest(range(4), seed=1)
+        >>> f.batch_update(links=[InternalLink(0, 1, 5.0, 10),
+        ...                       InternalLink(1, 2, 7.0, 11)])
+        >>> f.batch_is_connected([(0, 2), (0, 3), (2, 2)])
+        [True, False, True]
+        """
+        pairs = batchquery.normalize_pairs(pairs, self._require_vertex)
+        if not pairs:
+            return []
+        return batchquery.batch_is_connected(
+            _ObjectAdapter(self), pairs, self.cost
+        )
+
+    def batch_path_max(self, pairs) -> list[tuple[float, int] | None]:
+        """Heaviest ``(w, eid)`` per tree path for a batch of pairs;
+        ``None`` for ``u == v`` or disconnected pairs.
+
+        Loop-based reference for ``RCArrayForest.batch_path_max``
+        (phases ``bq-roots`` then ``bq-paths``; see
+        :mod:`repro.trees.batchquery` for the climb and its cost
+        contract).
+
+        >>> from repro.trees.rcforest import RCForest
+        >>> from repro.trees.ternary import InternalLink
+        >>> f = RCForest(range(4), seed=1)
+        >>> f.batch_update(links=[InternalLink(0, 1, 5.0, 10),
+        ...                       InternalLink(1, 2, 7.0, 11)])
+        >>> f.batch_path_max([(0, 2), (0, 1), (0, 3), (1, 1)])
+        [(7.0, 11), (5.0, 10), None, None]
+        """
+        pairs = batchquery.normalize_pairs(pairs, self._require_vertex)
+        if not pairs:
+            return []
+        return batchquery.batch_path_max(
+            _ObjectAdapter(self), pairs, self.cost
+        )
+
+    def _require_vertex(self, v: int) -> None:
+        if v not in self.vleaf:
+            raise KeyError(v)
 
     def component_summary(self, v: int):
         """Root-cluster aggregates of ``v``'s component, engine-neutral."""

@@ -98,7 +98,39 @@ def test_coverage_flags_missing_module(tmp_path):
     assert not any("repro.core.batch_msf" in f for f in failures)
 
 
-@pytest.mark.parametrize("module", ["repro.runtime.cost", "repro.runtime.scheduler"])
+def test_every_engine_batch_method_is_documented():
+    """Every public ``batch_*`` method on the engine seam has a doc
+    mention (docs/batch_queries.md covers the read kernels)."""
+    mod = _load_check_docs()
+    assert mod.check_batch_method_coverage(mod.default_targets()) == []
+
+
+def test_batch_method_lint_flags_missing_mention(tmp_path):
+    mod = _load_check_docs()
+    page = tmp_path / "page.md"
+    page.write_text("mentions batch_link and batch_cut and batch_update\n")
+    failures = mod.check_batch_method_coverage([page])
+    assert any("batch_is_connected" in f for f in failures)
+    assert any("batch_path_max" in f for f in failures)
+    assert not any("batch_link" in f for f in failures)
+
+
+def test_batch_method_enumeration_sees_read_kernels():
+    mod = _load_check_docs()
+    names = mod.engine_batch_methods()
+    for required in ("batch_is_connected", "batch_path_max", "batch_connected"):
+        assert required in names
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.runtime.cost",
+        "repro.runtime.scheduler",
+        "repro.trees.rcforest",
+        "repro.trees.rcarray",
+    ],
+)
 def test_runtime_doctests_pass(module):
     """The docstring examples actually run and pass."""
     mod = sys.modules.get(module) or __import__(module, fromlist=["_"])
