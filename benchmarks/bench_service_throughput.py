@@ -15,6 +15,7 @@ throughput (rounds/sec, edges/sec) and the flush-latency distribution
 
 from __future__ import annotations
 
+import pathlib
 import random
 import time
 
@@ -25,6 +26,16 @@ from repro.graphgen import bursty_stream
 from repro.runtime import CostModel
 from repro.service import ServiceConfig, StreamService
 from repro.sliding_window import SWConnectivityEager
+from repro.trace import TraceRecorder
+
+#: Every run leaves its committed rounds as a replayable trace artifact
+#: (docs/tracing.md) -- feed it to ``scripts/gate.py --traces-dir`` or
+#: ``repro.trace.replay_trace`` to re-drive this exact workload.
+TRACE_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "bench_results"
+    / "service_throughput.trace.jsonl"
+)
 
 N = 2048
 ROUNDS = 48
@@ -42,11 +53,30 @@ def test_service_throughput(record_table, record_json, benchmark, engine, tmp_pa
         cost = CostModel()
         sw = SWConnectivityEager(N, seed=13, cost=cost, engine=engine)
         data_dir = tmp_path / f"svc-{len(state)}"
+        TRACE_PATH.parent.mkdir(exist_ok=True)
+        TRACE_PATH.unlink(missing_ok=True)
+        recorder = TraceRecorder(
+            TRACE_PATH,
+            meta={
+                "factory": {
+                    "structure": "SWConnectivityEager",
+                    "n": N,
+                    "seed": 13,
+                },
+                "generator": {
+                    "kind": "bench_service_throughput",
+                    "seed": 13,
+                    "rounds": ROUNDS,
+                },
+            },
+        )
         svc = StreamService(
             sw,
             data_dir=data_dir,
             config=ServiceConfig(
-                flush_edges=FLUSH_EDGES, snapshot_every=SNAPSHOT_EVERY
+                flush_edges=FLUSH_EDGES,
+                snapshot_every=SNAPSHOT_EVERY,
+                recorder=recorder,
             ),
         )
         rng = random.Random(13)
@@ -65,8 +95,15 @@ def test_service_throughput(record_table, record_json, benchmark, engine, tmp_pa
         svc.drain()
         wall = time.perf_counter() - t0
         svc.close()
+        recorder.close()
         state.clear()
-        state.update(svc=svc, cost=cost, wall=wall, edges=edges)
+        state.update(
+            svc=svc,
+            cost=cost,
+            wall=wall,
+            edges=edges,
+            trace_events=recorder.events_recorded,
+        )
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     svc, cost, wall, edges = state["svc"], state["cost"], state["wall"], state["edges"]
@@ -118,7 +155,11 @@ def test_service_throughput(record_table, record_json, benchmark, engine, tmp_pa
             "mean_committed_batch": mean_batch,
             "p50_flush_ms": float(p50),
             "p99_flush_ms": float(p99),
+            "trace": TRACE_PATH.name,
+            "trace_events": state["trace_events"],
         },
     )
     assert committed <= ROUNDS  # coalescing can only merge rounds, not split
     assert p99 >= p50 > 0
+    # Capture rides the commit path: one trace event per committed round.
+    assert state["trace_events"] == committed

@@ -39,6 +39,7 @@ import random
 import sys
 import tempfile
 import time
+import zlib
 
 sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
@@ -55,6 +56,30 @@ N = 48
 NO_SLEEP = lambda s: None  # noqa: E731
 
 
+def derive_seed(base: int, label: str) -> int:
+    """A distinct, deterministic sub-seed for one component of the soak.
+
+    The tape, the fault injector, the edge stream, and the structure
+    each get their own seed derived from the base -- one ``--seed``
+    used verbatim everywhere couples their random streams (the same
+    family of tapes always meets the same family of streams), so a
+    whole dimension of interleavings never gets exercised no matter how
+    the base rotates.
+    """
+    return (base * 2654435761 + zlib.crc32(label.encode())) % (2**31 - 1)
+
+
+def seed_family(base: int) -> dict:
+    """Every component seed one soak run uses, by name."""
+    return {
+        "base": base,
+        "tape": derive_seed(base, "tape"),
+        "faults": derive_seed(base, "faults"),
+        "stream": derive_seed(base, "stream"),
+        "structure": derive_seed(base, "structure"),
+    }
+
+
 def fingerprint(sw):
     return (
         sw.num_components,
@@ -65,12 +90,13 @@ def fingerprint(sw):
 
 def soak_once(engine: str, args) -> dict:
     """One seeded soak on one engine; returns its JSON-ready summary."""
+    seeds = seed_family(args.seed)
 
     def factory():
-        return SWConnectivityEager(N, seed=13, engine=engine)
+        return SWConnectivityEager(N, seed=seeds["structure"], engine=engine)
 
     faults = FaultyIO(
-        seed=args.seed,
+        seed=seeds["faults"],
         p_write_error=0.3,
         p_torn_write=0.2,
         p_fsync_error=0.2,
@@ -79,12 +105,12 @@ def soak_once(engine: str, args) -> dict:
         sleep=NO_SLEEP,
     )
     schedule = ChaosSchedule.generate(
-        seed=args.seed,
+        seed=seeds["tape"],
         events=args.events,
         steps=args.rounds,
         primary_kills=args.primary_kills,
     )
-    rng = random.Random(args.seed)
+    rng = random.Random(seeds["stream"])
     stream = bursty_stream(
         N, rounds=args.rounds, base_batch=5, burst_batch=14, window=40, rng=rng
     )
@@ -143,6 +169,7 @@ def soak_once(engine: str, args) -> dict:
     return {
         "engine": engine,
         "seed": args.seed,
+        "seeds": seeds,
         "rounds": args.rounds,
         "events": sum(schedule.counts().values()),
         "event_counts": schedule.counts(),
@@ -192,6 +219,21 @@ def main(argv: list[str] | None = None) -> int:
     for engine in engines:
         summary = soak_once(engine, args)
         print(json.dumps(summary, sort_keys=False))
+        if not summary["converged"]:
+            # A red soak must be reproducible from the log alone: name
+            # every component seed and the exact command that replays it.
+            print(
+                f"soak FAIL on {engine}: seeds {json.dumps(summary['seeds'])}",
+                file=sys.stderr,
+            )
+            print(
+                "reproduce with: PYTHONPATH=src python scripts/soak.py "
+                f"--seed {args.seed} --events {args.events} "
+                f"--rounds {args.rounds} "
+                f"--primary-kills {args.primary_kills} "
+                f"--followers {args.followers} --engine {engine}",
+                file=sys.stderr,
+            )
         ok &= summary["converged"]
     print(
         f"soak {'PASS' if ok else 'FAIL'}: seed {args.seed}, "

@@ -40,7 +40,7 @@ from repro.service.service import (
     apply_ops,
     wal_directory,
 )
-from repro.service.wal import WalTruncated, read_wal_dir
+from repro.service.wal import OP_EXPIRE, OP_INSERT, Op, WalTruncated, read_wal_dir
 
 #: Event kinds a schedule may contain, with their default sampling weights.
 EVENT_KINDS = ("kill_follower", "restart_follower", "fault_window", "primary_kill")
@@ -207,6 +207,17 @@ class ChaosDriver:
         Returns the committed round's LSN token (on whichever primary
         ended up committing it).
         """
+        ops: list[Op] = []
+        if edges:
+            ops.append((OP_INSERT, tuple(tuple(e) for e in edges)))
+        if expire:
+            ops.append((OP_EXPIRE, int(expire)))
+        return self.step_ops(step, ops)
+
+    def step_ops(self, step: int, ops: Sequence[Op]) -> int:
+        """Like :meth:`step`, but committing an explicit WAL-shaped op
+        list (the trace replayer's entry point: a recorded round's ops
+        replay under chaos with their op structure preserved)."""
         if (
             self.faults is not None
             and self._window_end is not None
@@ -216,7 +227,7 @@ class ChaosDriver:
             self._window_end = None
         for ev in self.schedule.at(step):
             self._apply(ev, step)
-        lsn = self._write(edges, expire)
+        lsn = self._write_ops(ops)
         self._tick_replication()
         self.stats["rounds"] += 1
         return lsn
@@ -279,9 +290,9 @@ class ChaosDriver:
     # Writes with failover
     # ------------------------------------------------------------------
 
-    def _write(self, edges: Sequence[Sequence], expire: int) -> int:
+    def _write_ops(self, ops: Sequence[Op]) -> int:
         try:
-            return self.service.write(edges, expire)
+            return self.service.write_ops(ops)
         except (InjectedCrash, ServiceClosed, OSError) as exc:
             if isinstance(exc, OSError) and not is_transient_io(exc):
                 raise
@@ -289,7 +300,7 @@ class ChaosDriver:
             self._failover()
             # The crashed round never reached the WAL; recommit it on the
             # new primary.  A second failure here is a real test failure.
-            return self.service.write(edges, expire)
+            return self.service.write_ops(ops)
 
     def _failover(self) -> None:
         """Promote the most-caught-up follower after a primary death."""

@@ -37,7 +37,7 @@ from repro.obs.metrics import get_metrics
 from repro.replication.follower import Follower, FollowerDead
 from repro.service.resilience import RetryPolicy, is_transient_io
 from repro.service.service import ServiceConfig, StreamService
-from repro.service.wal import WalTruncated
+from repro.service.wal import OP_INSERT, Op, WalTruncated
 
 
 class ReplicatedService:
@@ -116,6 +116,24 @@ class ReplicatedService:
             self.primary.submit_insert(edges)
         if expire:
             self.primary.submit_expire(expire)
+        lsn = self.primary.flush()
+        return lsn if lsn >= 0 else self.primary.next_lsn - 1
+
+    def write_ops(self, ops: Sequence[Op]) -> int:
+        """Commit one round with an explicit WAL-shaped op list.
+
+        The trace replayer's write path: ``ops`` is a recorded round's
+        ordered op list (``("i", edges)`` / ``("e", delta)``), submitted
+        in order and flushed as one round, so the committed round's op
+        structure matches the recorded one exactly (alternating kinds
+        are preserved, not re-coalesced).  Returns the LSN token, like
+        :meth:`write`.
+        """
+        for kind, payload in ops:
+            if kind == OP_INSERT:
+                self.primary.submit_insert(payload)
+            else:
+                self.primary.submit_expire(payload)
         lsn = self.primary.flush()
         return lsn if lsn >= 0 else self.primary.next_lsn - 1
 

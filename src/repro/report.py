@@ -185,6 +185,91 @@ def render_trace(paths: list[pathlib.Path]) -> int:
     return status
 
 
+def _diff_rows(a, b) -> list[list[str]]:
+    """Per-phase and totals comparison rows for two benchmark records."""
+    def phase_map(rec) -> dict:
+        return {p["name"]: p for p in rec.phases}
+
+    def fmt_ratio(x: float, y: float) -> str:
+        return f"{y / x:.2f}x" if x else "-"
+
+    pa, pb = phase_map(a), phase_map(b)
+    rows = []
+    for name in sorted(set(pa) | set(pb)):
+        da, db = pa.get(name), pb.get(name)
+        wa = da["work"] if da else 0
+        wb = db["work"] if db else 0
+        ta = da.get("wall_s", 0.0) if da else 0.0
+        tb = db.get("wall_s", 0.0) if db else 0.0
+        both = da is not None and db is not None
+        rows.append(
+            [
+                name,
+                wa if da else "-",
+                wb if db else "-",
+                fmt_ratio(wa, wb) if both else "-",
+                f"{ta:.4f}" if da else "-",
+                f"{tb:.4f}" if db else "-",
+                fmt_ratio(ta, tb) if both else "-",
+            ]
+        )
+    ta, tb = a.totals.get("wall_s", 0.0), b.totals.get("wall_s", 0.0)
+    wa, wb = a.totals.get("work", 0), b.totals.get("work", 0)
+    rows.append(
+        [
+            "(totals)",
+            wa,
+            wb,
+            fmt_ratio(wa, wb),
+            f"{ta:.4f}",
+            f"{tb:.4f}",
+            fmt_ratio(ta, tb),
+        ]
+    )
+    return rows
+
+
+def render_trace_diff(path_a: pathlib.Path, path_b: pathlib.Path) -> int:
+    """Print a phase-by-phase comparison of two benchmark records.
+
+    The regression-triage view: column ``B/A`` is the second record's
+    work (and wall time) relative to the first, per top-level phase and
+    in total, so a drift flagged by ``scripts/gate.py`` can be localised
+    to the phase that moved.  A missing, truncated, or
+    schema-mismatched record exits 1 with a one-line diagnosis (an
+    inspection tool must name the damage, not traceback on it).
+    """
+    from repro.analysis.tables import format_table
+    from repro.obs.export import read_record
+
+    records = []
+    for path in (path_a, path_b):
+        if not path.exists():
+            print(f"no such record: {path}", file=sys.stderr)
+            return 1
+        try:
+            records.append(read_record(path))
+        except (ValueError, KeyError) as exc:
+            print(
+                f"{path} is not a readable benchmark record: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+    a, b = records
+    print(
+        format_table(
+            ["phase", "work A", "work B", "B/A", "wall A", "wall B", "B/A"],
+            _diff_rows(a, b),
+            title=f"Trace diff: A={a.name} vs B={b.name}",
+        )
+    )
+    for tag, rec in (("A", a), ("B", b)):
+        params = ", ".join(f"{k}={v}" for k, v in sorted(rec.params.items()))
+        print(f"{tag}: {rec.name} rev={rec.git_rev or '?'}"
+              + (f" ({params})" if params else ""))
+    return 0
+
+
 def render_wal(data_dir: pathlib.Path) -> int:
     """Print one line summarising a service data directory's WAL."""
     from repro.service.service import WAL_DIRNAME, WAL_FILENAME
@@ -244,6 +329,14 @@ def main(argv: list[str] | None = None) -> int:
         "instead of building REPORT.md",
     )
     parser.add_argument(
+        "--trace-diff",
+        nargs=2,
+        metavar=("A.json", "B.json"),
+        help="print a phase-by-phase comparison of two benchmark records "
+        "(work and wall-time ratios per phase; exit 1 on unreadable or "
+        "schema-mismatched records)",
+    )
+    parser.add_argument(
         "--wal",
         metavar="DATA_DIR",
         help="print a one-line summary of a service data directory's "
@@ -259,6 +352,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.trace:
         return render_trace([pathlib.Path(p) for p in args.trace])
+    if args.trace_diff:
+        return render_trace_diff(
+            pathlib.Path(args.trace_diff[0]), pathlib.Path(args.trace_diff[1])
+        )
     if args.wal:
         return render_wal(pathlib.Path(args.wal))
 

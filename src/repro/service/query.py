@@ -230,6 +230,13 @@ class QueryService:
             batches; batch ``max_inflight + 1`` is shed with
             :class:`~repro.service.resilience.ServiceOverloaded` instead
             of queueing (None: unbounded).
+        recorder: optional trace-capture hook (duck-typed, normally a
+            :class:`repro.trace.recorder.TraceRecorder`): each answered
+            batch is reported via ``recorder.record_read(queries,
+            at_least=..., max_staleness=...)`` so the read mix and its
+            consistency levels can be replayed.  Best-effort -- a
+            recorder failure increments ``trace.record_failures`` and
+            never fails the read.
     """
 
     def __init__(
@@ -243,6 +250,7 @@ class QueryService:
         on_primary_down: str = "fail",
         breaker: CircuitBreaker | None = None,
         max_inflight: int | None = None,
+        recorder: Any | None = None,
     ) -> None:
         if on_lag not in ("catch_up", "wait", "redirect"):
             raise ValueError(f"unknown on_lag policy {on_lag!r}")
@@ -262,6 +270,7 @@ class QueryService:
         self.on_primary_down = on_primary_down
         self.breaker = breaker
         self.max_inflight = max_inflight
+        self.recorder = recorder
         self._inflight = (
             None
             if max_inflight is None
@@ -318,6 +327,14 @@ class QueryService:
             if self._latency_ewma == 0.0
             else 0.8 * self._latency_ewma + 0.2 * wall
         )
+        if self.recorder is not None:
+            # The batch was answered; trace capture must not fail it.
+            try:
+                self.recorder.record_read(
+                    queries, at_least=at_least, max_staleness=max_staleness
+                )
+            except Exception:
+                m.counter("trace.record_failures").inc()
         m.counter("query.batches").inc()
         m.counter("query.reads").inc(len(queries))
         m.histogram("query.batch_size").observe(len(queries))

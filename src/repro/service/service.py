@@ -136,6 +136,13 @@ class ServiceConfig:
             to *transient* WAL I/O errors in the commit path (``None``:
             no retries; the first storage error kills the service, the
             pre-resilience behaviour).  Corruption is never retried.
+        recorder: optional trace-capture hook (duck-typed, normally a
+            :class:`repro.trace.recorder.TraceRecorder`): after each
+            round commits, ``recorder.record_round(lsn, ops)`` is called
+            with the committed LSN and the flushed op list.  Capture is
+            best-effort -- a recorder failure increments
+            ``trace.record_failures`` and never fails the commit, since
+            the round is already durable in the WAL.
     """
 
     flush_edges: int = 256
@@ -147,6 +154,7 @@ class ServiceConfig:
     fsync: bool = False
     io: StorageIO | None = None
     retry: RetryPolicy | None = None
+    recorder: Any | None = None
 
 
 def apply_ops(structure: Any, ops: Sequence[Op]) -> None:
@@ -557,6 +565,12 @@ class StreamService:
 
         wall = time.perf_counter() - t0
         self.flush_wall.append(wall)
+        if self.config.recorder is not None:
+            # The round is durable; trace capture must not un-commit it.
+            try:
+                self.config.recorder.record_round(lsn, ops)
+            except Exception:
+                get_metrics().counter("trace.record_failures").inc()
         m = get_metrics()
         m.counter("service.rounds").inc()
         m.histogram("service.flush_edges").observe(n_edges)

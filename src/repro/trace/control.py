@@ -1,0 +1,249 @@
+"""Adaptive ops: tune service knobs from replayed (or live) load.
+
+The service's knobs -- flush deadline, follower replication budget --
+have been static since they existed; this module closes the loop.
+:class:`AdaptiveController` watches per-round wall latency and follower
+lag during a run and nudges two knobs toward their SLO targets:
+
+- **flush interval** (the micro-batching deadline): when round p99
+  latency is over target, shrink the deadline so batches flush sooner
+  and each commit is cheaper; when comfortably under, grow it to win
+  back batching efficiency.  Multiplicative-decrease / additive-ish
+  increase, clamped to a configured band.
+- **replication budget** (records a follower may catch up per tick):
+  when observed lag p99 exceeds target, grow the budget; when lag stays
+  at zero, shrink it to stop stealing cycles from the primary.
+
+Every decision is appended to :attr:`AdaptiveController.decisions` and,
+when a recorder is attached, written to the trace as a ``control``
+event -- so a tuning run's knob trajectory is itself a durable,
+replayable artifact.  :class:`ScriptedController` is the replay side:
+built from a recorded trace's control events, it re-applies each
+decision at the same event sequence number, making an adaptive run
+deterministic after the fact.
+
+Decisions fire on a fixed cadence (every ``window`` observed rounds),
+using the p99 of the window just closed, so the controller's behaviour
+is a pure function of the observation sequence -- no wall clocks, no
+randomness -- which is what makes the scripted replay exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.trace.record import TraceEvent
+
+
+def p99(samples: Sequence[float]) -> float:
+    """The p99 of ``samples`` (nearest-rank; 0.0 when empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(0.99 * len(ordered))))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class ControlConfig:
+    """Targets and bounds for the adaptive loop.
+
+    ``window`` rounds are observed between decisions; latency targets
+    are milliseconds of per-round wall time, lag targets are rounds of
+    follower staleness.  The min/max pairs clamp each knob.
+    """
+
+    window: int = 16
+    target_p99_ms: float = 5.0
+    min_flush_interval: float = 0.001
+    max_flush_interval: float = 0.25
+    target_lag_p99: float = 4.0
+    min_budget: int = 8
+    max_budget: int = 4096
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One knob change: what moved, to what, and the observation why."""
+
+    seq: int
+    knob: str
+    value: float
+    observed: float
+    reason: str
+
+
+class AdaptiveController:
+    """Closed-loop tuner for flush deadline and replication budget.
+
+    Drive it with :meth:`observe_round` (per committed round) and
+    :meth:`observe_lag` (per replication tick), then call
+    :meth:`on_event` with the current trace sequence number; every
+    ``window`` rounds it emits zero or more :class:`Decision`\\ s and
+    updates :attr:`flush_interval` / :attr:`budget` in place.  The
+    caller applies those attributes to the live config.
+    """
+
+    def __init__(
+        self,
+        config: ControlConfig | None = None,
+        flush_interval: float = 0.05,
+        budget: int = 64,
+        recorder=None,
+    ) -> None:
+        self.config = config or ControlConfig()
+        self.flush_interval = float(flush_interval)
+        self.budget = int(budget)
+        self.decisions: list[Decision] = []
+        self._recorder = recorder
+        self._round_ms: list[float] = []
+        self._lag: list[float] = []
+        self._rounds_seen = 0
+
+    def observe_round(self, wall_ms: float) -> None:
+        """Feed one committed round's wall latency in milliseconds."""
+        self._round_ms.append(float(wall_ms))
+        self._rounds_seen += 1
+
+    def observe_lag(self, lag_rounds: float) -> None:
+        """Feed one follower-lag sample (rounds behind the primary)."""
+        self._lag.append(float(lag_rounds))
+
+    def _decide(self, seq: int, knob: str, value: float, observed: float, reason: str) -> None:
+        decision = Decision(
+            seq=seq, knob=knob, value=value, observed=observed, reason=reason
+        )
+        self.decisions.append(decision)
+        if self._recorder is not None:
+            self._recorder.record_control(
+                knob, value, reason=reason, observed=observed, at=seq
+            )
+
+    def on_event(self, seq: int) -> list[Decision]:
+        """Run the decision cadence; returns the decisions just made.
+
+        Call after each processed trace event with its ``seq``.  Fires
+        only when a full observation window of rounds has accumulated
+        since the last firing.
+        """
+        cfg = self.config
+        if self._rounds_seen < cfg.window:
+            return []
+        before = len(self.decisions)
+
+        lat = p99(self._round_ms)
+        if lat > cfg.target_p99_ms:
+            proposed = max(cfg.min_flush_interval, self.flush_interval * 0.5)
+            if proposed != self.flush_interval:
+                self.flush_interval = proposed
+                self._decide(
+                    seq,
+                    "flush_interval",
+                    proposed,
+                    lat,
+                    f"round p99 {lat:.2f}ms over target "
+                    f"{cfg.target_p99_ms:.2f}ms: flush sooner",
+                )
+        elif lat < cfg.target_p99_ms * 0.5:
+            proposed = min(cfg.max_flush_interval, self.flush_interval * 1.25)
+            if proposed != self.flush_interval:
+                self.flush_interval = proposed
+                self._decide(
+                    seq,
+                    "flush_interval",
+                    proposed,
+                    lat,
+                    f"round p99 {lat:.2f}ms well under target: "
+                    "batch longer",
+                )
+
+        if self._lag:
+            lag = p99(self._lag)
+            if lag > cfg.target_lag_p99:
+                proposed_b = min(cfg.max_budget, max(self.budget * 2, 1))
+                if proposed_b != self.budget:
+                    self.budget = proposed_b
+                    self._decide(
+                        seq,
+                        "budget",
+                        float(proposed_b),
+                        lag,
+                        f"lag p99 {lag:.1f} rounds over target "
+                        f"{cfg.target_lag_p99:.1f}: grow catch-up budget",
+                    )
+            elif lag == 0.0:
+                proposed_b = max(cfg.min_budget, self.budget // 2)
+                if proposed_b != self.budget:
+                    self.budget = proposed_b
+                    self._decide(
+                        seq,
+                        "budget",
+                        float(proposed_b),
+                        lag,
+                        "followers fully caught up: shrink budget",
+                    )
+
+        self._round_ms.clear()
+        self._lag.clear()
+        self._rounds_seen = 0
+        return self.decisions[before:]
+
+
+class ScriptedController:
+    """Replays a recorded controller's decisions at the same seqs.
+
+    Built from a trace's ``control`` events, it exposes the same
+    ``flush_interval`` / ``budget`` attributes and ``observe_*`` /
+    ``on_event`` surface as :class:`AdaptiveController`, but ignores
+    observations entirely: at each :meth:`on_event` it applies exactly
+    the knob values the original run recorded at or before that
+    sequence number.  This is what makes an adaptive tuning run
+    reproducible -- replay the trace with the scripted controller and
+    the knob trajectory is identical by construction.
+    """
+
+    def __init__(
+        self,
+        events: Sequence[TraceEvent],
+        flush_interval: float = 0.05,
+        budget: int = 64,
+    ) -> None:
+        self.flush_interval = float(flush_interval)
+        self.budget = int(budget)
+        self.decisions: list[Decision] = []
+        self._script: list[Decision] = [
+            Decision(
+                seq=int(ev.body.get("at", ev.seq)),
+                knob=str(ev.body["knob"]),
+                value=float(ev.body["value"]),
+                observed=float(ev.body.get("observed", 0.0)),
+                reason=str(ev.body.get("reason", "")),
+            )
+            for ev in events
+            if ev.kind == "control"
+        ]
+        self._cursor = 0
+
+    def observe_round(self, wall_ms: float) -> None:  # noqa: ARG002
+        """Ignored: the script already knows every decision."""
+
+    def observe_lag(self, lag_rounds: float) -> None:  # noqa: ARG002
+        """Ignored: the script already knows every decision."""
+
+    def on_event(self, seq: int) -> list[Decision]:
+        """Apply every scripted decision recorded at or before ``seq``."""
+        applied: list[Decision] = []
+        while (
+            self._cursor < len(self._script)
+            and self._script[self._cursor].seq <= seq
+        ):
+            d = self._script[self._cursor]
+            if d.knob == "flush_interval":
+                self.flush_interval = d.value
+            elif d.knob == "budget":
+                self.budget = int(d.value)
+            self.decisions.append(d)
+            applied.append(d)
+            self._cursor += 1
+        return applied
