@@ -21,9 +21,17 @@ public ``batch_*`` method on the RC-tree engine seam (both engines plus
 the :class:`DynamicForest` facade): each must be named in at least one
 doc page -- docs/batch_queries.md documents the read kernels.
 
-Exit status: 0 when every import resolves and every module is mentioned,
-1 otherwise (one line per failure).  Run directly or via
-``tests/test_docs_lint.py``.
+The third check is **internal links**: every markdown
+``[text](target)`` cross-reference in the doc set must resolve — the
+target file must exist relative to the page linking it, and a
+``#fragment`` must name a real heading's GitHub-style anchor in the
+target (or, for a bare ``#fragment``, in the same page).  External
+``http(s)://`` and ``mailto:`` targets are skipped; a renamed doc page
+or reworded heading fails the lint instead of shipping a dead link.
+
+Exit status: 0 when every import resolves, every module is mentioned,
+and every internal link lands, 1 otherwise (one line per failure).  Run
+directly or via ``tests/test_docs_lint.py``.
 """
 
 from __future__ import annotations
@@ -161,6 +169,76 @@ def check_batch_method_coverage(paths: list[pathlib.Path]) -> list[str]:
     ]
 
 
+_LINK = re.compile(r"\[[^\]\n]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.+?)\s*$", re.MULTILINE)
+
+
+def markdown_links(text: str) -> list[str]:
+    """Every ``[text](target)`` target in ``text``, code fences excluded.
+
+    Fenced blocks hold code, not prose; a bracketed expression followed
+    by a call in a snippet must not be mistaken for a link.
+    """
+    prose = re.sub(r"^```.*?^```\s*$", "", text, flags=re.MULTILINE | re.DOTALL)
+    return [m.group(1) for m in _LINK.finditer(prose)]
+
+
+def github_anchor(heading: str) -> str:
+    """The GitHub-flavored anchor slug for a heading's text.
+
+    Lowercase, formatting backticks dropped, everything outside
+    ``[a-z0-9 _-]`` removed, spaces to hyphens -- the algorithm GitHub's
+    renderer applies when it builds ``#fragment`` targets.
+    """
+    slug = heading.strip().lower().replace("`", "")
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_anchors(path: pathlib.Path) -> set[str]:
+    """Every anchor a page exposes (duplicate headings get ``-N``)."""
+    seen: dict[str, int] = {}
+    anchors: set[str] = set()
+    text = re.sub(
+        r"^```.*?^```\s*$", "", path.read_text(),
+        flags=re.MULTILINE | re.DOTALL,
+    )
+    for m in _HEADING.finditer(text):
+        base = github_anchor(m.group(2))
+        n = seen.get(base, 0)
+        seen[base] = n + 1
+        anchors.add(base if n == 0 else f"{base}-{n}")
+    return anchors
+
+
+def check_links(paths: list[pathlib.Path]) -> list[str]:
+    """Failure messages for internal links that do not resolve."""
+    failures = []
+    for path in paths:
+        if not path.exists():
+            continue
+        rel = (
+            path.relative_to(REPO_ROOT)
+            if path.is_relative_to(REPO_ROOT)
+            else path
+        )
+        for target in markdown_links(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            dest, _, fragment = target.partition("#")
+            resolved = path if not dest else (path.parent / dest).resolve()
+            if not resolved.exists():
+                failures.append(f"{rel}: broken link {target!r}")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment not in heading_anchors(resolved):
+                    failures.append(
+                        f"{rel}: link {target!r} names no heading anchor "
+                        f"in {dest or rel}"
+                    )
+    return failures
+
+
 def default_targets() -> list[pathlib.Path]:
     """The markdown files the repo promises to keep import-accurate."""
     targets = sorted((REPO_ROOT / "docs").glob("*.md"))
@@ -179,6 +257,7 @@ def main(argv: list[str]) -> int:
     for path in paths:
         checked += 1
         failures.extend(check_file(path))
+    failures.extend(check_links(paths))
     if not explicit:
         # Coverage only makes sense against the full doc set.
         failures.extend(check_module_coverage(paths))
@@ -188,7 +267,8 @@ def main(argv: list[str]) -> int:
     if not failures:
         print(
             f"docs import lint: {checked} files clean, "
-            f"{len(public_modules())} modules documented"
+            f"{len(public_modules())} modules documented, "
+            "all internal links resolve"
         )
     return 1 if failures else 0
 

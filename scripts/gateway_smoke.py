@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the network serving tier, sized for CI.
+
+One run stands up the full process topology from
+:doc:`docs/gateway.md <../docs/gateway.md>` in miniature -- a durable
+:class:`~repro.replication.replicated.ReplicatedService` primary, one
+out-of-process follower worker (``python -m repro.replication.worker``)
+tailing its WAL, and an HTTP :class:`~repro.gateway.server.Gateway`
+routing reads to it -- then drives it with a few seconds of seeded
+open-loop :func:`~repro.loadgen.run_load` traffic and asserts:
+
+- ``GET /v1/health`` reports ``ok`` with the worker alive;
+- the load run completed a nonzero number of reads *and* writes with no
+  transport/HTTP-level error classes;
+- shutdown is clean: the worker subprocess exits 0 after the gateway
+  sends it a ``stop`` frame, and the gateway/service close without
+  residue.
+
+This is a liveness gate, not a performance one -- throughput numbers
+come from ``benchmarks/bench_gateway.py``.  Prints one summary line and
+``gateway smoke PASS`` on success; any assertion failure or a worker
+that will not start/stop exits nonzero.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gateway_smoke.py              # ~5 s run
+    PYTHONPATH=src python scripts/gateway_smoke.py --duration 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.gateway import Gateway, GatewayConfig  # noqa: E402
+from repro.loadgen import LoadConfig, run_load  # noqa: E402
+from repro.replication import ReplicatedService  # noqa: E402
+from repro.replication.worker import build_factory  # noqa: E402
+from repro.service import ServiceConfig  # noqa: E402
+
+N = 64
+SEED = 13
+WORKER_READY_TIMEOUT_S = 30
+
+
+def spawn_worker(data_dir: pathlib.Path) -> tuple[subprocess.Popen, str]:
+    """Start one follower worker; returns (process, ``host:port``)."""
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.replication.worker",
+            "--data-dir", str(data_dir),
+            "--structure", "SWConnectivityEager",
+            "--n", str(N), "--seed", str(SEED),
+            "--port", "0", "--fid", "1",
+            "--tail-interval", "0.01",
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    line = proc.stdout.readline().strip()
+    if not line.startswith("REPRO-WORKER READY"):
+        proc.kill()
+        raise SystemExit(f"worker failed to start: {line!r}\n{proc.stderr.read()}")
+    _, _, host, port, _ = line.split()
+    return proc, f"{host}:{port}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="load run length, seconds (default: 5)")
+    parser.add_argument("--seed", type=int, default=SEED)
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="gateway-smoke-") as tmp:
+        data_dir = pathlib.Path(tmp) / "data"
+        factory = build_factory("SWConnectivityEager", N, SEED)
+        cfg = ServiceConfig(fsync=False, snapshot_every=0)
+        with ReplicatedService(factory, data_dir, cfg, followers=1) as rs:
+            # One committed round before the worker starts, so it has a
+            # WAL to bootstrap from rather than an empty directory.
+            rs.write([(0, 1)])
+            proc, addr = spawn_worker(data_dir)
+            gw = Gateway(rs, GatewayConfig(port=0, workers=(addr,))).start()
+            try:
+                host, port = gw.address
+                report = run_load(host, port, LoadConfig(
+                    duration_s=args.duration, clients=2000, think_s=5.0,
+                    n=N, pool=4, seed=args.seed,
+                ))
+
+                conn = http.client.HTTPConnection(host, port, timeout=10)
+                conn.request("GET", "/v1/health")
+                health = json.loads(conn.getresponse().read())
+                conn.close()
+
+                failures = []
+                if health.get("status") != "ok":
+                    failures.append(f"health not ok: {health}")
+                if not any(w.get("alive") for w in health.get("workers", [])):
+                    failures.append(f"no live worker in health: {health}")
+                if report.reads == 0:
+                    failures.append("load run completed zero reads")
+                if report.writes == 0:
+                    failures.append("load run completed zero writes")
+                if report.errors:
+                    failures.append(f"request errors: {report.errors}")
+            finally:
+                gw.close(stop_workers=True)
+            try:
+                rc = proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                failures.append("worker did not exit after stop frame")
+            else:
+                if rc != 0:
+                    failures.append(
+                        f"worker exited {rc}: {proc.stderr.read()[-2000:]}"
+                    )
+
+    print(
+        f"gateway smoke: {report.reads_per_s:.0f} reads/s, "
+        f"{report.writes_per_s:.0f} writes/s, p99 {report.p99_ms:.1f} ms "
+        f"over {args.duration:.0f}s with 1 worker process"
+    )
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    if failures:
+        return 1
+    print("gateway smoke PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Network-facing serving tier: the HTTP/JSON gateway and worker routing.
+
+The front door over the replicated service stack
+(``docs/gateway.md`` / ``docs/architecture.md``)::
+
+    from repro.gateway import Gateway, GatewayConfig
+    from repro.replication import ReplicatedService
+
+    rs = ReplicatedService(factory, data_dir, followers=1)
+    with Gateway(rs, GatewayConfig(port=8080)) as gw:
+        print(gw.url)          # POST /v1/write, /v1/read; GET /v1/health
+
+Reads route to out-of-process ``python -m repro.replication.worker``
+followers when a fleet is configured, falling back to the in-process
+:class:`~repro.service.query.QueryService` otherwise.
+``python -m repro.gateway`` runs a primary + gateway from the command
+line; :mod:`repro.loadgen` drives it with open-loop traffic.
+"""
+
+from repro.gateway.protocol import (
+    BadRequest,
+    QUERY_KINDS,
+    dumps,
+    error_body,
+    jsonable,
+    parse_edges,
+    parse_queries,
+)
+from repro.gateway.server import Gateway, GatewayConfig
+from repro.gateway.workers import (
+    WorkerClient,
+    WorkerPool,
+    WorkerReadError,
+    WorkerUnavailable,
+)
+
+__all__ = [
+    "Gateway",
+    "GatewayConfig",
+    "WorkerClient",
+    "WorkerPool",
+    "WorkerReadError",
+    "WorkerUnavailable",
+    "BadRequest",
+    "QUERY_KINDS",
+    "jsonable",
+    "dumps",
+    "error_body",
+    "parse_queries",
+    "parse_edges",
+]

@@ -1,0 +1,206 @@
+"""The gateway wire protocol: canonical JSON encoding and validation.
+
+Everything that crosses a process boundary -- HTTP bodies at the
+gateway, newline-delimited frames on a worker socket -- goes through
+this module, so the *same* canonical encoding is produced no matter
+which replica answered.  That is what makes the differential contract
+testable: a batch answered by an OS-process worker must be
+**byte-for-byte identical** to the same batch answered by the in-process
+:class:`~repro.service.query.QueryService` under the same LSN token
+(``tests/test_gateway.py`` asserts exactly this).
+
+Canonical form:
+
+- :func:`jsonable` maps structure answers onto the JSON type system
+  deterministically: tuples become arrays, sets become *sorted* arrays,
+  NumPy scalars become their Python equivalents.  Anything it cannot
+  map raises -- silent ``str()`` coercion would hide drift between
+  replicas.
+- :func:`dumps` renders with sorted keys and minimal separators, so
+  equal values produce equal bytes.
+
+Request validation (:func:`parse_queries` / :func:`parse_edges` /
+:func:`parse_consistency`) raises :class:`BadRequest`, which the HTTP
+layer maps to a structured ``400`` body (:func:`error_body`) -- a
+malformed request must never surface as a stack trace.  The full wire
+reference, endpoint by endpoint, is ``docs/gateway.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.service.query import _READ_GROUPS, _SCALAR_QUERIES
+
+#: Query kinds the wire accepts: the pair reads (grouped into shared
+#: RC-tree sweeps) plus the zero-argument scalar reads.
+PAIR_KINDS = frozenset(_READ_GROUPS)
+SCALAR_KINDS = frozenset(_SCALAR_QUERIES)
+QUERY_KINDS = PAIR_KINDS | SCALAR_KINDS
+
+
+class BadRequest(ValueError):
+    """A request body that fails validation (HTTP 400, structured)."""
+
+
+def jsonable(obj: Any) -> Any:
+    """``obj`` mapped deterministically onto JSON-serializable types.
+
+    Tuples/lists map to lists, sets and frozensets to *sorted* lists
+    (their iteration order is not canonical), dict keys to strings, and
+    NumPy scalars to the matching Python scalar via ``.item()``.  A type
+    outside this closed set raises ``TypeError`` -- the wire must not
+    guess at an encoding two replicas could disagree on.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [jsonable(x) for x in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted((jsonable(x) for x in obj), key=repr)
+    if isinstance(obj, dict):
+        return {str(k): jsonable(v) for k, v in obj.items()}
+    item = getattr(obj, "item", None)
+    if callable(item):  # NumPy bool_/integer/floating scalars
+        return jsonable(item())
+    raise TypeError(f"cannot encode {type(obj).__name__!r} on the wire")
+
+
+def dumps(obj: Any) -> bytes:
+    """Canonical JSON bytes: sorted keys, minimal separators, UTF-8."""
+    return json.dumps(
+        jsonable(obj), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def error_body(
+    kind: str, message: str, retry_after: float | None = None
+) -> dict:
+    """The structured error envelope every non-2xx response carries.
+
+    ``retry_after`` (seconds) is set for retryable verdicts --
+    ``overloaded`` and ``staleness_exceeded`` -- mirroring the
+    ``Retry-After`` header, so JSON-only clients can back off without
+    parsing headers.
+    """
+    err: dict[str, Any] = {"type": kind, "message": message}
+    if retry_after is not None:
+        err["retry_after"] = max(0.0, float(retry_after))
+    return {"error": err}
+
+
+def _require_int(value: Any, what: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadRequest(f"{what} must be an integer, got {value!r}")
+    return value
+
+
+def parse_queries(raw: Any) -> list[tuple]:
+    """Validate a wire query batch into :class:`QueryService` tuples.
+
+    The wire shape is a non-empty array of arrays, each ``[kind]`` for
+    the scalar kinds or ``[kind, u, v]`` for the pair kinds; anything
+    else raises :class:`BadRequest` naming the offending entry.
+    """
+    if not isinstance(raw, list) or not raw:
+        raise BadRequest("'queries' must be a non-empty array of arrays")
+    out: list[tuple] = []
+    for i, q in enumerate(raw):
+        if not isinstance(q, list) or not q:
+            raise BadRequest(f"queries[{i}] must be a non-empty array")
+        kind = q[0]
+        if kind not in QUERY_KINDS:
+            raise BadRequest(
+                f"queries[{i}]: unknown query kind {kind!r} "
+                f"(known: {', '.join(sorted(QUERY_KINDS))})"
+            )
+        if kind in PAIR_KINDS:
+            if len(q) != 3:
+                raise BadRequest(
+                    f"queries[{i}]: {kind!r} takes [kind, u, v], got {q!r}"
+                )
+            u = _require_int(q[1], f"queries[{i}][1]")
+            v = _require_int(q[2], f"queries[{i}][2]")
+            out.append((kind, u, v))
+        else:
+            if len(q) != 1:
+                raise BadRequest(
+                    f"queries[{i}]: {kind!r} takes no arguments, got {q!r}"
+                )
+            out.append((kind,))
+    return out
+
+
+def parse_edges(raw: Any) -> list[tuple]:
+    """Validate a wire edge batch into ``(u, v[, w])`` rows."""
+    if not isinstance(raw, list):
+        raise BadRequest("'edges' must be an array of [u, v] or [u, v, w]")
+    out: list[tuple] = []
+    for i, row in enumerate(raw):
+        if not isinstance(row, list) or len(row) not in (2, 3):
+            raise BadRequest(
+                f"edges[{i}] must be [u, v] or [u, v, w], got {row!r}"
+            )
+        u = _require_int(row[0], f"edges[{i}][0]")
+        v = _require_int(row[1], f"edges[{i}][1]")
+        if len(row) == 3:
+            w = row[2]
+            if isinstance(w, bool) or not isinstance(w, (int, float)):
+                raise BadRequest(
+                    f"edges[{i}][2] must be a number, got {w!r}"
+                )
+            out.append((u, v, float(w)))
+        else:
+            out.append((u, v))
+    return out
+
+
+def parse_consistency(body: dict) -> tuple[int | None, int | None]:
+    """Validate the optional ``at_least`` / ``max_staleness`` fields."""
+    at_least = body.get("at_least")
+    if at_least is not None:
+        at_least = _require_int(at_least, "'at_least'")
+        if at_least < 0:
+            raise BadRequest("'at_least' must be >= 0")
+    max_staleness = body.get("max_staleness")
+    if max_staleness is not None:
+        max_staleness = _require_int(max_staleness, "'max_staleness'")
+        if max_staleness < 0:
+            raise BadRequest("'max_staleness' must be >= 0")
+    return at_least, max_staleness
+
+
+def read_frame(rfile) -> dict | None:
+    """Read one newline-delimited JSON frame from a worker socket.
+
+    Returns ``None`` at EOF.  Oversized or undecodable frames raise
+    :class:`BadRequest` -- the worker replies with a structured error
+    frame instead of dying.
+    """
+    line = rfile.readline(MAX_FRAME_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_FRAME_BYTES:
+        raise BadRequest(f"frame exceeds {MAX_FRAME_BYTES} bytes")
+    try:
+        frame = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise BadRequest(f"undecodable frame: {exc}") from None
+    if not isinstance(frame, dict):
+        raise BadRequest("frame must be a JSON object")
+    return frame
+
+
+def write_frame(wfile, payload: dict) -> None:
+    """Write one newline-delimited JSON frame to a worker socket."""
+    wfile.write(dumps(payload) + b"\n")
+    wfile.flush()
+
+
+#: Ceiling on one worker-protocol frame (requests and responses); a
+#: query batch is bounded, so anything bigger is a protocol violation.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Ceiling on one HTTP request body at the gateway.
+MAX_BODY_BYTES = 8 * 1024 * 1024

@@ -1,0 +1,388 @@
+"""The HTTP/JSON front door over a replicated window structure.
+
+:class:`Gateway` binds a stdlib :class:`~http.server.ThreadingHTTPServer`
+(thin handler, JSON bodies, the backend modules doing all the work) over
+one :class:`~repro.replication.replicated.ReplicatedService` and its
+:class:`~repro.service.query.QueryService`.  Four endpoints
+(``docs/gateway.md`` is the full wire reference):
+
+- ``POST /v1/write`` -- one durable round (insert + expire ops),
+  answering with the round's **LSN token** for read-your-writes.
+- ``POST /v1/read`` -- one grouped query batch under ``at_least`` /
+  ``max_staleness`` consistency, exactly the
+  :meth:`QueryService.run <repro.service.query.QueryService.run>`
+  semantics.  Concurrent HTTP readers each submit *batches*, so the
+  Theorem 3.2 sharing (one RC-tree sweep per kind per batch) is what
+  every request rides on.
+- ``GET /v1/health`` -- primary liveness, durable tip, worker fleet.
+- ``GET /v1/metrics`` -- the :mod:`repro.obs` registry as JSON.
+
+Read routing prefers the **out-of-process worker fleet**
+(``python -m repro.replication.worker`` processes reached through a
+:class:`~repro.gateway.workers.WorkerPool`): workers answer in their own
+interpreters, so read throughput scales past the GIL.  A worker that is
+busy (replay lock held), stale (behind the required token), benched
+(transport failure), or simply absent drops the batch back onto the
+in-process ``QueryService`` -- the gateway keeps serving through a whole
+fleet outage, just slower.
+
+Every error is a structured JSON body (``{"error": {"type", "message",
+"retry_after"?}}``), never a stack trace: overload maps to ``429`` with
+``retry_after`` (mirrored in the ``Retry-After`` header), staleness and
+a dead primary to ``503``, validation to ``400``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.gateway.protocol import (
+    MAX_BODY_BYTES,
+    BadRequest,
+    dumps,
+    error_body,
+    jsonable,
+    parse_consistency,
+    parse_edges,
+    parse_queries,
+)
+from repro.gateway.workers import WorkerPool, WorkerReadError, WorkerUnavailable
+from repro.obs.metrics import get_metrics
+from repro.service.query import (
+    QueryService,
+    StalenessExceeded,
+    UnsupportedQuery,
+)
+from repro.service.resilience import ServiceOverloaded
+from repro.service.service import Backpressure, ServiceClosed
+
+
+@dataclass
+class GatewayConfig:
+    """Front-door knobs (routing policy lives on the ``QueryService``).
+
+    Attributes:
+        host/port: bind address (port 0 picks an ephemeral port; read it
+            back from :attr:`Gateway.address` / :attr:`Gateway.url`).
+        workers: ``host:port`` of each out-of-process follower worker to
+            route reads to (empty: serve everything in-process).
+        worker_timeout: per-worker round-trip timeout, seconds.
+        worker_retry_s: how long a transport-failed worker is benched.
+        worker_conns: persistent connections per worker (pipelining
+            depth; see :class:`~repro.gateway.workers.WorkerPool`).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: tuple[str, ...] = field(default_factory=tuple)
+    worker_timeout: float = 5.0
+    worker_retry_s: float = 1.0
+    worker_conns: int = 2
+
+
+class _GatewayHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    gateway: "Gateway"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin routing shim: parse, delegate to the Gateway, encode."""
+
+    protocol_version = "HTTP/1.1"  # keep-alive: load generators reuse sockets
+    # Without this, small request/response pairs on a keep-alive socket
+    # hit the Nagle / delayed-ACK interaction: ~40ms stalls per round
+    # trip that swamp the sub-millisecond query work.
+    disable_nagle_algorithm = True
+    server_version = "repro-gateway"
+    server: _GatewayHTTPServer
+
+    def log_message(self, fmt: str, *args: Any) -> None:  # silence stderr
+        pass
+
+    # -- plumbing -------------------------------------------------------
+
+    def _send(
+        self,
+        status: int,
+        payload: dict,
+        retry_after: float | None = None,
+    ) -> None:
+        body = dumps(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{max(0.0, retry_after):.3f}")
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except OSError:
+            pass  # client went away; nothing to tell it
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise BadRequest(f"body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        try:
+            body = json.loads(raw) if raw else None
+        except json.JSONDecodeError as exc:
+            raise BadRequest(f"body is not valid JSON: {exc}") from None
+        if not isinstance(body, dict):
+            raise BadRequest("body must be a JSON object")
+        return body
+
+    def _dispatch(self, method: str) -> None:
+        gw = self.server.gateway
+        m = get_metrics()
+        m.counter("gateway.requests").inc()
+        t0 = time.perf_counter()
+        route = self.path.split("?", 1)[0]
+        try:
+            if (method, route) == ("POST", "/v1/write"):
+                payload = gw.handle_write(self._read_body())
+            elif (method, route) == ("POST", "/v1/read"):
+                payload = gw.handle_read(self._read_body())
+            elif (method, route) == ("GET", "/v1/health"):
+                payload = gw.handle_health()
+            elif (method, route) == ("GET", "/v1/metrics"):
+                payload = m.as_dict()
+            elif route in ("/v1/write", "/v1/read", "/v1/health", "/v1/metrics"):
+                self._send(
+                    405, error_body("method_not_allowed", f"{method} {route}")
+                )
+                return
+            else:
+                self._send(404, error_body("not_found", f"no route {route}"))
+                return
+        except Exception as exc:
+            status, payload, retry_after = _classify(exc)
+            m.counter(f"gateway.errors.{payload['error']['type']}").inc()
+            self._send(status, payload, retry_after)
+            return
+        m.histogram(f"gateway.{route.rsplit('/', 1)[-1]}_ms").observe(
+            (time.perf_counter() - t0) * 1e3
+        )
+        self._send(200, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+
+def _classify(exc: Exception) -> tuple[int, dict, float | None]:
+    """Exception -> (HTTP status, structured body, Retry-After seconds)."""
+    if isinstance(exc, BadRequest):
+        return 400, error_body("bad_request", str(exc)), None
+    if isinstance(exc, UnsupportedQuery):
+        return 400, error_body("unsupported_query", str(exc)), None
+    if isinstance(exc, ServiceOverloaded):
+        ra = exc.retry_after or 0.05
+        return 429, error_body("overloaded", str(exc), ra), ra
+    if isinstance(exc, Backpressure):
+        return 429, error_body("backpressure", str(exc), 0.05), 0.05
+    if isinstance(exc, StalenessExceeded):
+        return 503, error_body("staleness_exceeded", str(exc), 0.1), 0.1
+    if isinstance(exc, ServiceClosed):
+        return 503, error_body("service_closed", str(exc), 1.0), 1.0
+    # Anything else is a server bug: name the type, never the traceback.
+    return (
+        500,
+        error_body("internal", f"{type(exc).__name__}: {exc}"),
+        None,
+    )
+
+
+class Gateway:
+    """The network front door over one replicated service.
+
+    Args:
+        service: the :class:`~repro.replication.replicated.ReplicatedService`
+            to serve (the gateway does not own its lifecycle unless
+            :meth:`close` is asked to).
+        config: bind address and worker fleet (:class:`GatewayConfig`).
+        query_service: the in-process read router; default builds a
+            ``QueryService(service, on_lag="catch_up", spread_lag=10**9)``
+            (spread reads across every in-process replica).  Pass your
+            own to choose lag policy, breakers, or admission control --
+            overload shed there surfaces as HTTP 429.
+    """
+
+    def __init__(
+        self,
+        service: Any,
+        config: GatewayConfig | None = None,
+        query_service: QueryService | None = None,
+    ) -> None:
+        self.service = service
+        self.config = config if config is not None else GatewayConfig()
+        self.query = (
+            query_service
+            if query_service is not None
+            else QueryService(service, on_lag="catch_up", spread_lag=10**9)
+        )
+        self.pool: WorkerPool | None = (
+            WorkerPool(
+                list(self.config.workers),
+                timeout=self.config.worker_timeout,
+                retry_s=self.config.worker_retry_s,
+                conns_per_worker=self.config.worker_conns,
+            )
+            if self.config.workers
+            else None
+        )
+        self._httpd: _GatewayHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- endpoints ------------------------------------------------------
+
+    def handle_write(self, body: dict) -> dict:
+        """``POST /v1/write``: one durable round -> its LSN token."""
+        edges = parse_edges(body.get("edges", []))
+        expire = body.get("expire", 0)
+        if isinstance(expire, bool) or not isinstance(expire, int) or expire < 0:
+            raise BadRequest("'expire' must be a non-negative integer")
+        m = get_metrics()
+        cost = self.service.primary.cost
+        with cost.phase("gateway-write", items=len(edges)):
+            lsn = self.service.write(edges, expire=expire)
+        m.counter("gateway.writes").inc()
+        m.counter("gateway.write_edges").inc(len(edges))
+        return {"lsn": lsn, "epoch": self.service.epoch}
+
+    def handle_read(self, body: dict) -> dict:
+        """``POST /v1/read``: one grouped batch under the requested
+        consistency level, preferring the worker fleet."""
+        queries = parse_queries(body.get("queries"))
+        at_least, max_staleness = parse_consistency(body)
+        m = get_metrics()
+        m.counter("gateway.read_batches").inc()
+        m.counter("gateway.reads").inc(len(queries))
+        if self.pool is not None and len(self.pool):
+            required = 0 if at_least is None else at_least + 1
+            if max_staleness is not None:
+                required = max(
+                    required, self.service.primary.next_lsn - max_staleness
+                )
+            try:
+                reply = self.pool.read([list(q) for q in queries], required)
+            except WorkerUnavailable:
+                m.counter("gateway.worker_fallbacks").inc()
+            except WorkerReadError as exc:
+                if exc.kind == "unsupported_query":
+                    raise UnsupportedQuery(str(exc)) from None
+                raise BadRequest(str(exc)) from None
+            else:
+                m.counter("gateway.worker_reads").inc()
+                return {
+                    "answers": reply["answers"],
+                    "lsn": reply["lsn"],
+                    "replica": f"worker{reply.get('fid', '?')}",
+                    "stale": False,
+                }
+        res = self.query.run(
+            queries, at_least=at_least, max_staleness=max_staleness
+        )
+        m.counter("gateway.inprocess_reads").inc()
+        return {
+            "answers": jsonable(res.answers),
+            "lsn": res.lsn,
+            "replica": res.replica,
+            "stale": res.stale,
+        }
+
+    def handle_health(self) -> dict:
+        """``GET /v1/health``: liveness, durable tip, fleet state."""
+        primary = self.service.primary
+        alive = bool(getattr(primary, "alive", True))
+        workers = self.pool.health() if self.pool is not None else []
+        return {
+            "status": "ok" if alive else "degraded",
+            "primary": {
+                "alive": alive,
+                "lsn": primary.next_lsn,
+                "epoch": self.service.epoch,
+            },
+            "followers": len(self.service.followers),
+            "workers": workers,
+        }
+
+    # -- worker fleet ---------------------------------------------------
+
+    def set_workers(self, addrs: list[str] | tuple[str, ...]) -> None:
+        """Point read routing at a (new) worker fleet; empty detaches."""
+        old = self.pool
+        self.pool = (
+            WorkerPool(
+                list(addrs),
+                timeout=self.config.worker_timeout,
+                retry_s=self.config.worker_retry_s,
+                conns_per_worker=self.config.worker_conns,
+            )
+            if addrs
+            else None
+        )
+        if old is not None:
+            old.close()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "Gateway":
+        """Bind and serve on a background thread; returns ``self``."""
+        if self._httpd is not None:
+            return self
+        httpd = _GatewayHTTPServer(
+            (self.config.host, self.config.port), _Handler
+        )
+        httpd.gateway = self
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-gateway",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (resolves port 0)."""
+        if self._httpd is None:
+            raise RuntimeError("gateway is not started")
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def close(self, stop_workers: bool = False) -> None:
+        """Stop serving (idempotent).  ``stop_workers=True`` also sends
+        every reachable worker a clean ``stop`` first."""
+        if self.pool is not None:
+            if stop_workers:
+                self.pool.stop_workers()
+            self.pool.close()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "Gateway":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

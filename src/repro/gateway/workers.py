@@ -1,0 +1,262 @@
+"""Gateway-side client pool for out-of-process follower workers.
+
+The gateway prefers routing read batches to
+``python -m repro.replication.worker`` processes (real parallelism: each
+worker replays and answers in its own interpreter) and falls back to the
+in-process :class:`~repro.service.query.QueryService` when no worker can
+serve.  This module is the routing half of that story:
+
+- :class:`WorkerClient` -- one persistent newline-delimited-JSON TCP
+  connection, re-established transparently after a failure (one
+  reconnect attempt per request; a worker mid-restart looks like one
+  failed read, not a poisoned pool).
+- :class:`WorkerPool` -- round-robin over the live workers with
+  busy/stale verdict handling: a worker that answers ``busy`` (its
+  replay lock is held) or ``stale`` (fenced or behind the required LSN)
+  is *skipped for this batch* and stays in rotation, while one that
+  fails at the transport level is benched for ``retry_s`` seconds
+  (connection refused on every read would otherwise tax every batch).
+
+Thread safety: the HTTP front door serves each request on its own
+thread, so a client's connection is guarded by a per-client lock and a
+batch holds it only for its own round trip.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any
+
+from repro.gateway.protocol import dumps, MAX_FRAME_BYTES
+from repro.obs.metrics import get_metrics
+
+import json
+
+
+class WorkerUnavailable(RuntimeError):
+    """No worker in the pool could serve this batch (fall back in-process)."""
+
+
+def parse_addr(addr: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (IPv4/hostname form)."""
+    host, sep, port = addr.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"worker address must be host:port, got {addr!r}")
+    return host or "127.0.0.1", int(port)
+
+
+class WorkerClient:
+    """One worker's persistent connection (thread-safe, auto-reconnect)."""
+
+    def __init__(self, addr: str, timeout: float = 5.0) -> None:
+        self.addr = addr
+        self.host, self.port = parse_addr(addr)
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        #: monotonic deadline until which the worker is benched.
+        self.benched_until = 0.0
+        #: replay position from the last successful reply.
+        self.last_lsn = -1
+
+    def _connect(self) -> None:
+        self._close_locked()
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+
+    def _close_locked(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_locked()
+
+    def request(self, frame: dict) -> dict:
+        """One round trip; raises ``OSError`` on transport failure.
+
+        A dead persistent connection (worker restarted between batches)
+        gets exactly one transparent reconnect-and-retry.
+        """
+        with self._lock:
+            for attempt in (0, 1):
+                if self._sock is None:
+                    self._connect()
+                try:
+                    self._sock.sendall(dumps(frame) + b"\n")
+                    line = self._rfile.readline(MAX_FRAME_BYTES + 1)
+                    if not line:
+                        raise ConnectionError(
+                            f"worker {self.addr} closed the connection"
+                        )
+                    reply = json.loads(line)
+                    if not isinstance(reply, dict):
+                        raise ConnectionError(
+                            f"worker {self.addr} sent a non-object frame"
+                        )
+                    return reply
+                except (OSError, ValueError):
+                    self._close_locked()
+                    if attempt:
+                        raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+class WorkerPool:
+    """Round-robin read routing across the configured workers.
+
+    Args:
+        addrs: ``host:port`` strings, one per worker process.
+        timeout: per-round-trip socket timeout (seconds).
+        retry_s: how long a transport-failed worker sits out before the
+            pool tries it again.
+        conns_per_worker: persistent connections kept per worker.  One
+            connection carries one in-flight batch (the frame protocol
+            is strict request/reply), so a worker's read throughput
+            under concurrent load is capped at connections/round-trip;
+            a small pool (default 2) lets the next batch's frame travel
+            while the previous reply is still being drained.  Worker
+            *processes* stay the unit of real parallelism -- extra
+            connections only hide scheduling latency, they cannot buy
+            CPU.
+    """
+
+    def __init__(
+        self,
+        addrs: list[str] | tuple[str, ...],
+        timeout: float = 5.0,
+        retry_s: float = 1.0,
+        conns_per_worker: int = 2,
+    ) -> None:
+        self.addrs = list(addrs)
+        # Worker-major interleaving ([w0, w1, ..., w0', w1', ...]): the
+        # round-robin walk then spreads batches across distinct worker
+        # processes before doubling up on any one worker's second
+        # connection.
+        self.clients = [
+            WorkerClient(a, timeout=timeout)
+            for _ in range(max(1, conns_per_worker))
+            for a in self.addrs
+        ]
+        self.retry_s = retry_s
+        self._rr_lock = threading.Lock()
+        self._rr = 0
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    def _order(self) -> list[WorkerClient]:
+        with self._rr_lock:
+            self._rr += 1
+            start = self._rr
+        n = len(self.clients)
+        return [self.clients[(start + i) % n] for i in range(n)]
+
+    def read(self, queries_wire: list, required: int) -> dict:
+        """Route one batch; returns the worker's ``ok`` reply.
+
+        Tries each non-benched worker once in round-robin order.  A
+        ``busy`` or ``stale`` verdict moves on to the next worker; a
+        transport failure benches the worker for ``retry_s``.  When
+        every worker is benched, busy, or stale,
+        :class:`WorkerUnavailable` tells the gateway to fall back to the
+        in-process read path.
+        """
+        if not self.clients:
+            raise WorkerUnavailable("no workers configured")
+        m = get_metrics()
+        now = time.monotonic()
+        verdicts = []
+        skip: set[str] = set()
+        for client in self._order():
+            if client.addr in skip:
+                # This worker already answered busy/stale on another
+                # connection this batch; its verdict won't change.
+                continue
+            if client.benched_until > now:
+                verdicts.append(f"{client.addr}: benched")
+                continue
+            try:
+                reply = client.request(
+                    {"op": "read", "queries": queries_wire, "required": required}
+                )
+            except (OSError, ValueError) as exc:
+                client.benched_until = time.monotonic() + self.retry_s
+                m.counter("gateway.worker_errors").inc()
+                verdicts.append(f"{client.addr}: {type(exc).__name__}")
+                continue
+            if reply.get("ok"):
+                client.benched_until = 0.0
+                client.last_lsn = reply.get("lsn", -1)
+                return reply
+            verdict = reply.get("error", "error")
+            m.counter(f"gateway.worker_{verdict}").inc()
+            verdicts.append(f"{client.addr}: {verdict}")
+            skip.add(client.addr)
+            if verdict not in ("busy", "stale"):
+                # bad_request / unsupported_query would fail identically
+                # on every replica: surface it instead of retrying.
+                raise WorkerReadError(verdict, reply.get("message", ""))
+        raise WorkerUnavailable("; ".join(verdicts))
+
+    def _one_per_worker(self) -> list[WorkerClient]:
+        """The first client per distinct worker (control-plane ops)."""
+        return self.clients[: len(self.addrs)]
+
+    def health(self) -> list[dict]:
+        """Best-effort liveness + replay position per worker."""
+        out = []
+        for client in self._one_per_worker():
+            entry: dict[str, Any] = {"addr": client.addr}
+            try:
+                reply = client.request({"op": "health"})
+                entry.update(
+                    alive=bool(reply.get("alive")),
+                    lsn=reply.get("lsn", -1),
+                    fid=reply.get("fid"),
+                )
+            except (OSError, ValueError):
+                entry.update(alive=False, lsn=client.last_lsn)
+            out.append(entry)
+        return out
+
+    def stop_workers(self) -> int:
+        """Send every reachable worker a clean ``stop``; returns how many
+        acknowledged (the deployment/CI teardown path)."""
+        stopped = 0
+        for client in self._one_per_worker():
+            try:
+                reply = client.request({"op": "stop"})
+                stopped += 1 if reply.get("ok") else 0
+            except (OSError, ValueError):
+                pass
+        return stopped
+
+    def close(self) -> None:
+        for client in self.clients:
+            client.close()
+
+
+class WorkerReadError(RuntimeError):
+    """A worker rejected the batch for a non-routable reason (client error)."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(message or kind)
+        self.kind = kind

@@ -1,0 +1,379 @@
+"""A seeded open-loop load generator for the HTTP gateway.
+
+Closed-loop drivers (a fixed thread pool of back-to-back requests) hide
+overload: when the server slows down, the offered load politely slows
+down with it, and the measured latency flatters the system.  This
+generator is **open-loop**: arrivals follow a Poisson process whose rate
+is set by the simulated population -- ``clients`` independent users each
+thinking for ``Exp(think_s)`` between requests merge into one Poisson
+stream of rate ``clients / think_s`` -- so tens of thousands of simulated
+clients press on regardless of how the gateway is doing, and queueing
+delay shows up where it belongs: in the end-to-end latency tail.
+
+Mechanics:
+
+- one **scheduler** thread walks the seeded exponential arrival clock
+  and enqueues request specs at their arrival instants (never waiting on
+  completions);
+- a bounded pool of **connection workers** -- ``pool`` persistent
+  keep-alive :class:`http.client.HTTPConnection` sockets -- drains the
+  queue.  The queue is bounded at ``queue_cap``; an arrival that finds
+  it full is counted as ``shed`` (the client-side symptom of a saturated
+  server) instead of growing memory without bound;
+- the mix is skewed: ``read_fraction`` of arrivals are grouped
+  ``/v1/read`` batches over a power-law vertex popularity (hot vertices
+  get most of the queries, the way real traffic does), the rest are
+  small ``/v1/write`` batches that keep the window sliding.
+
+Latency is recorded **end to end**: from the scheduled arrival instant
+(not from socket send) to response receipt, so client-side queueing --
+the open-loop penalty of a slow server -- is inside the reported
+p50/p99.  Results come back as a :class:`LoadReport`;
+``python -m repro.loadgen --url ... --duration 5`` prints one as JSON
+(the CI smoke job's probe).  ``benchmarks/bench_gateway.py`` sweeps
+follower-process counts with this generator and records the scaling
+artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import math
+import queue
+import random
+import socket
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.gateway.protocol import dumps
+
+#: The default read mix: kinds every connectivity structure answers.
+#: (``certificate``/``k_connected`` etc. are structure-specific; pass
+#: ``read_kinds`` explicitly when driving one of those.)
+_DEFAULT_READ_KINDS = ("connected", "path_max", "components", "window_size")
+
+
+class GatewayConnection(http.client.HTTPConnection):
+    """Keep-alive connection with Nagle disabled.
+
+    Small request/response pairs over a reused socket otherwise trip the
+    Nagle / delayed-ACK interaction -- ~40ms stalls per round trip that
+    would drown every latency the generator is trying to measure.  Set
+    on ``connect`` so lazy reconnects after a dropped socket keep the
+    option too.
+    """
+
+    def connect(self) -> None:
+        super().connect()
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+@dataclass
+class LoadConfig:
+    """One load run's shape (fully determined by ``seed``).
+
+    Attributes:
+        duration_s: measurement window, seconds.
+        clients: simulated user population.
+        think_s: mean think time per client, seconds -- offered load is
+            ``clients / think_s`` requests/s.
+        read_fraction: probability an arrival is a read batch.
+        read_batch: queries per read batch (grouped server-side into
+            shared RC-tree sweeps).
+        write_batch: edges per write round.
+        n: vertex id space (must be within the served structure's ``n``).
+        skew: popularity exponent; vertex ``i`` is drawn with probability
+            proportional to ``1 / (i + 1)**skew`` (0.0: uniform).
+        pool: persistent HTTP connections (the socket pool bound).
+        queue_cap: arrival-queue bound; beyond it arrivals are shed
+            client-side and counted.
+        expire_every: a write carries ``expire=write_batch`` once every
+            this many writes, keeping the window from growing forever.
+        read_kinds: the batch composition drawn from per read.
+        seed: the whole run -- arrival clock, mix, targets -- replays
+            byte-identically given it.
+    """
+
+    duration_s: float = 5.0
+    clients: int = 10_000
+    think_s: float = 10.0
+    read_fraction: float = 0.9
+    read_batch: int = 8
+    write_batch: int = 4
+    n: int = 512
+    skew: float = 1.1
+    pool: int = 8
+    queue_cap: int = 256
+    expire_every: int = 2
+    read_kinds: tuple[str, ...] = _DEFAULT_READ_KINDS
+    seed: int = 13
+
+
+@dataclass
+class LoadReport:
+    """What one run measured (JSON-ready via :meth:`as_dict`)."""
+
+    duration_s: float
+    offered: int  #: arrivals the schedule generated
+    completed: int  #: 2xx responses
+    reads: int  #: completed read batches
+    read_queries: int  #: individual queries inside them
+    writes: int  #: completed write rounds
+    shed_client: int  #: arrivals dropped at the full client queue
+    errors: dict[str, int] = field(default_factory=dict)
+    reads_per_s: float = 0.0
+    writes_per_s: float = 0.0
+    queries_per_s: float = 0.0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "duration_s": self.duration_s,
+            "offered": self.offered,
+            "completed": self.completed,
+            "reads": self.reads,
+            "read_queries": self.read_queries,
+            "writes": self.writes,
+            "shed_client": self.shed_client,
+            "errors": dict(sorted(self.errors.items())),
+            "reads_per_s": self.reads_per_s,
+            "writes_per_s": self.writes_per_s,
+            "queries_per_s": self.queries_per_s,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+        }
+
+
+def _percentile(sorted_xs: list[float], q: float) -> float:
+    if not sorted_xs:
+        return 0.0
+    i = min(len(sorted_xs) - 1, max(0, math.ceil(q * len(sorted_xs)) - 1))
+    return sorted_xs[i]
+
+
+class _Zipfish:
+    """Seeded power-law vertex sampler: weight ``1/(i+1)**skew``.
+
+    Inverse-CDF over the precomputed cumulative weights -- O(lg n) per
+    draw, deterministic given the rng.
+    """
+
+    def __init__(self, n: int, skew: float) -> None:
+        self.n = n
+        if skew <= 0.0:
+            self.cum = None
+            return
+        acc, cum = 0.0, []
+        for i in range(n):
+            acc += 1.0 / (i + 1) ** skew
+            cum.append(acc)
+        self.cum = cum
+        self.total = acc
+
+    def draw(self, rng: random.Random) -> int:
+        if self.cum is None:
+            return rng.randrange(self.n)
+        x = rng.random() * self.total
+        lo, hi = 0, self.n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.cum[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+
+def _build_request(
+    cfg: LoadConfig, rng: random.Random, sampler: _Zipfish, write_no: int
+) -> tuple[str, bytes, bool]:
+    """One arrival's ``(path, body, is_read)`` under the seeded mix."""
+    if rng.random() < cfg.read_fraction:
+        batch: list[list] = []
+        for _ in range(cfg.read_batch):
+            kind = rng.choice(cfg.read_kinds)
+            if kind in ("connected", "path_max"):
+                batch.append(
+                    [kind, sampler.draw(rng), sampler.draw(rng)]
+                )
+            else:
+                batch.append([kind])
+        return "/v1/read", dumps({"queries": batch}), True
+    edges = [
+        [sampler.draw(rng), sampler.draw(rng)] for _ in range(cfg.write_batch)
+    ]
+    expire = cfg.write_batch if write_no % max(1, cfg.expire_every) == 0 else 0
+    return "/v1/write", dumps({"edges": edges, "expire": expire}), False
+
+
+def run_load(host: str, port: int, cfg: LoadConfig) -> LoadReport:
+    """Drive one open-loop run against ``host:port``; returns the report."""
+    rng = random.Random(cfg.seed)
+    sampler = _Zipfish(cfg.n, cfg.skew)
+    rate = cfg.clients / cfg.think_s  # merged Poisson arrival rate
+    work: queue.Queue = queue.Queue(maxsize=cfg.queue_cap)
+    lock = threading.Lock()
+    latencies: list[float] = []
+    stats = {
+        "offered": 0,
+        "completed": 0,
+        "reads": 0,
+        "read_queries": 0,
+        "writes": 0,
+        "shed_client": 0,
+    }
+    errors: dict[str, int] = {}
+    stop = threading.Event()
+
+    def scheduler() -> None:
+        # The arrival clock is seeded and independent of completions:
+        # this loop never blocks on the server, only on wall time.
+        t0 = time.perf_counter()
+        next_at = 0.0
+        write_no = 0
+        while not stop.is_set():
+            next_at += rng.expovariate(rate)
+            if next_at > cfg.duration_s:
+                return
+            path, body, is_read = _build_request(cfg, rng, sampler, write_no)
+            if not is_read:
+                write_no += 1
+            delay = t0 + next_at - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            with lock:
+                stats["offered"] += 1
+            try:
+                work.put_nowait((time.perf_counter(), path, body, is_read))
+            except queue.Full:
+                with lock:
+                    stats["shed_client"] += 1
+
+    def connection_worker() -> None:
+        conn = GatewayConnection(host, port, timeout=30.0)
+        try:
+            while True:
+                item = work.get()
+                if item is None:
+                    return
+                arrived, path, body, is_read = item
+                try:
+                    conn.request(
+                        "POST",
+                        path,
+                        body=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    resp = conn.getresponse()
+                    payload = resp.read()  # drain for keep-alive
+                    status = resp.status
+                except OSError:
+                    conn.close()  # reconnect lazily on the next request
+                    with lock:
+                        errors["transport"] = errors.get("transport", 0) + 1
+                    continue
+                wall_ms = (time.perf_counter() - arrived) * 1e3
+                if status == 200:
+                    with lock:
+                        stats["completed"] += 1
+                        latencies.append(wall_ms)
+                        if is_read:
+                            stats["reads"] += 1
+                            stats["read_queries"] += cfg.read_batch
+                        else:
+                            stats["writes"] += 1
+                else:
+                    try:
+                        kind = json.loads(payload)["error"]["type"]
+                    except (ValueError, KeyError, TypeError):
+                        kind = f"http_{status}"
+                    with lock:
+                        errors[kind] = errors.get(kind, 0) + 1
+        finally:
+            conn.close()
+
+    workers = [
+        threading.Thread(target=connection_worker, name=f"loadgen-{i}")
+        for i in range(cfg.pool)
+    ]
+    for t in workers:
+        t.start()
+    sched = threading.Thread(target=scheduler, name="loadgen-sched")
+    t_start = time.perf_counter()
+    sched.start()
+    sched.join()
+    # Let in-flight work drain, then release the pool.
+    for _ in workers:
+        work.put(None)
+    for t in workers:
+        t.join()
+    wall = time.perf_counter() - t_start
+    stop.set()
+
+    latencies.sort()
+    return LoadReport(
+        duration_s=wall,
+        offered=stats["offered"],
+        completed=stats["completed"],
+        reads=stats["reads"],
+        read_queries=stats["read_queries"],
+        writes=stats["writes"],
+        shed_client=stats["shed_client"],
+        errors=errors,
+        reads_per_s=stats["reads"] / wall if wall else 0.0,
+        writes_per_s=stats["writes"] / wall if wall else 0.0,
+        queries_per_s=stats["read_queries"] / wall if wall else 0.0,
+        p50_ms=_percentile(latencies, 0.50),
+        p99_ms=_percentile(latencies, 0.99),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI probe: run one load and print the report as JSON."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.loadgen",
+        description="Open-loop load generator for the repro gateway "
+        "(docs/gateway.md).",
+    )
+    parser.add_argument("--url", required=True, help="gateway host:port")
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--clients", type=int, default=10_000)
+    parser.add_argument("--think", type=float, default=10.0,
+                        help="mean think time per client, seconds")
+    parser.add_argument("--read-fraction", type=float, default=0.9)
+    parser.add_argument("--read-batch", type=int, default=8)
+    parser.add_argument("--write-batch", type=int, default=4)
+    parser.add_argument("--n", type=int, default=512)
+    parser.add_argument("--skew", type=float, default=1.1)
+    parser.add_argument("--pool", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=13)
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    host, _, port = args.url.replace("http://", "").rpartition(":")
+    if not port.isdigit():
+        print(f"--url must be host:port, got {args.url!r}", file=sys.stderr)
+        return 2
+    cfg = LoadConfig(
+        duration_s=args.duration,
+        clients=args.clients,
+        think_s=args.think,
+        read_fraction=args.read_fraction,
+        read_batch=args.read_batch,
+        write_batch=args.write_batch,
+        n=args.n,
+        skew=args.skew,
+        pool=args.pool,
+        seed=args.seed,
+    )
+    report = run_load(host or "127.0.0.1", int(port), cfg)
+    print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -211,11 +211,22 @@ class Follower:
             self._check_alive()
             return fn(self.structure)
 
-    def try_query(self, fn: Callable[[Any], Any]) -> Any:
+    def try_query(self, fn: Callable[[Any], Any], timeout: float = 0.0) -> Any:
         """Like :meth:`query`, but returns :data:`BUSY` instead of
         blocking when the replica's lock is held (a replay in progress):
-        the router's busy-avoidance primitive."""
-        if not self._lock.acquire(blocking=False):
+        the router's busy-avoidance primitive.
+
+        ``timeout > 0`` waits up to that long for the lock first: a
+        reader colliding with a short replay poll rides it out instead
+        of failing over (the out-of-process worker uses this -- for it,
+        a BUSY verdict costs the gateway a wasted network round trip per
+        remaining worker, not a nanosecond lock probe).
+        """
+        if timeout > 0:
+            acquired = self._lock.acquire(timeout=timeout)
+        else:
+            acquired = self._lock.acquire(blocking=False)
+        if not acquired:
             return BUSY
         try:
             self._check_alive()

@@ -39,7 +39,7 @@ _SECTIONS = [
             "table1_sparsifier_quality",
         ],
     ),
-    ("Service layer", ["service_throughput", "replication_reads"]),
+    ("Service layer", ["service_throughput", "replication_reads", "gateway"]),
     (
         "Ablations",
         [

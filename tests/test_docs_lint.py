@@ -122,6 +122,57 @@ def test_batch_method_enumeration_sees_read_kernels():
         assert required in names
 
 
+def test_every_internal_doc_link_resolves():
+    """No doc page may ship a dead cross-reference or anchor."""
+    mod = _load_check_docs()
+    assert mod.check_links(mod.default_targets()) == []
+
+
+def test_link_lint_flags_missing_file_and_anchor(tmp_path):
+    mod = _load_check_docs()
+    good = tmp_path / "good.md"
+    good.write_text("# Real Heading\n\nbody\n")
+    page = tmp_path / "page.md"
+    page.write_text(
+        "[ok](good.md) [ok too](good.md#real-heading)\n"
+        "[gone](missing.md) [bad anchor](good.md#not-a-heading)\n"
+        "[external](https://example.com/nope) [mail](mailto:a@b.c)\n"
+    )
+    failures = mod.check_links([page])
+    assert len(failures) == 2
+    assert any("missing.md" in f for f in failures)
+    assert any("not-a-heading" in f for f in failures)
+
+
+def test_link_lint_same_file_anchor(tmp_path):
+    mod = _load_check_docs()
+    page = tmp_path / "page.md"
+    page.write_text(
+        "# One\n\n[up](#one) [down](#two) [nowhere](#three)\n\n## Two\n"
+    )
+    failures = mod.check_links([page])
+    assert len(failures) == 1 and "#three" in failures[0]
+
+
+def test_link_lint_ignores_code_fences(tmp_path):
+    mod = _load_check_docs()
+    page = tmp_path / "page.md"
+    page.write_text(
+        "prose\n\n```python\nx = table[key](arg)  # not a link\n```\n"
+    )
+    assert mod.check_links([page]) == []
+
+
+def test_github_anchor_slugging():
+    mod = _load_check_docs()
+    assert mod.github_anchor("Failover walkthrough") == "failover-walkthrough"
+    assert (
+        mod.github_anchor("The service layer (`repro.service`)")
+        == "the-service-layer-reproservice"
+    )
+    assert mod.github_anchor("p50/p99, explained") == "p50p99-explained"
+
+
 @pytest.mark.parametrize(
     "module",
     [

@@ -1,0 +1,556 @@
+"""Gateway tier: wire protocol, HTTP endpoints, worker routing, loadgen.
+
+The acceptance test of the serving tier is the *differential contract*:
+a read answered through the HTTP front door -- by an in-process replica
+or by an out-of-process worker -- must be byte-for-byte identical to the
+same batch answered directly by
+:class:`~repro.service.query.QueryService` under the same LSN token.
+Everything crossing a process boundary goes through
+:mod:`repro.gateway.protocol`'s canonical encoder, and these tests hold
+that property against the raw response bytes, not a reparsed value.
+
+The error-path tests pin the operational contract from docs/gateway.md:
+a malformed body is a structured 400 (never a stack trace), overload is
+429 with ``retry_after`` in both header and body, and an unsatisfiable
+consistency token is 503.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.gateway import Gateway, GatewayConfig
+from repro.gateway.protocol import (
+    BadRequest,
+    PAIR_KINDS,
+    QUERY_KINDS,
+    SCALAR_KINDS,
+    dumps,
+    error_body,
+    jsonable,
+    parse_consistency,
+    parse_edges,
+    parse_queries,
+)
+from repro.gateway.workers import WorkerPool, WorkerUnavailable, parse_addr
+from repro.loadgen import LoadConfig, _Zipfish, run_load
+from repro.replication import ReplicatedService
+from repro.replication.worker import STRUCTURES, build_factory
+from repro.service import ServiceConfig
+from repro.service.query import QueryService
+from repro.service.resilience import ServiceOverloaded
+
+N = 32
+SEED = 13
+
+
+# -- protocol units -----------------------------------------------------
+
+
+def test_jsonable_canonical_forms():
+    assert jsonable((1, 2, (3, 4))) == [1, 2, [3, 4]]
+    assert jsonable({3, 1, 2}) == [1, 2, 3]
+    assert jsonable(frozenset({(2, 3), (1, 2)})) == [[1, 2], [2, 3]]
+    assert jsonable({1: "a"}) == {"1": "a"}
+    np = pytest.importorskip("numpy")
+    assert jsonable(np.bool_(True)) is True
+    assert jsonable(np.int64(7)) == 7
+    out = jsonable(np.float64(1.5))
+    assert out == 1.5 and isinstance(out, float)
+
+
+def test_jsonable_rejects_unknown_types():
+    class Opaque:
+        pass
+
+    with pytest.raises(TypeError):
+        jsonable(Opaque())
+
+
+def test_dumps_is_canonical_bytes():
+    assert dumps({"b": 1, "a": (2, 3)}) == b'{"a":[2,3],"b":1}'
+    # Two structurally equal values must render to equal bytes.
+    assert dumps({"x": {2, 1}}) == dumps({"x": [1, 2]})
+
+
+def test_error_body_shapes():
+    assert error_body("bad_request", "nope") == {
+        "error": {"type": "bad_request", "message": "nope"}
+    }
+    body = error_body("overloaded", "busy", retry_after=0.25)
+    assert body["error"]["retry_after"] == 0.25
+
+
+def test_parse_queries_valid_and_invalid():
+    got = parse_queries([["connected", 1, 2], ["components"]])
+    assert got == [("connected", 1, 2), ("components",)]
+    assert PAIR_KINDS and SCALAR_KINDS and QUERY_KINDS >= PAIR_KINDS
+    for bad in (
+        None,
+        [],
+        [[]],
+        [["frobnicate"]],
+        [["connected", 1]],
+        [["connected", 1, "x"]],
+        [["components", 1]],
+        [["connected", True, 2]],
+    ):
+        with pytest.raises(BadRequest):
+            parse_queries(bad)
+
+
+def test_parse_edges_valid_and_invalid():
+    assert parse_edges([[1, 2], [3, 4, 2.5]]) == [(1, 2), (3, 4, 2.5)]
+    for bad in (None, [[1]], [[1, 2, 3, 4]], [[1, "x"]], [[1, 2, True]]):
+        with pytest.raises(BadRequest):
+            parse_edges(bad)
+
+
+def test_parse_consistency():
+    assert parse_consistency({}) == (None, None)
+    assert parse_consistency({"at_least": 3, "max_staleness": 0}) == (3, 0)
+    for bad in (
+        {"at_least": -1},
+        {"at_least": "3"},
+        {"max_staleness": -2},
+        {"at_least": True},
+    ):
+        with pytest.raises(BadRequest):
+            parse_consistency(bad)
+
+
+def test_parse_addr():
+    assert parse_addr("127.0.0.1:9000") == ("127.0.0.1", 9000)
+    with pytest.raises(ValueError):
+        parse_addr("no-port")
+
+
+# -- HTTP endpoint fixtures ---------------------------------------------
+
+
+def make_service(tmp_path, followers=1, **cfg_kwargs):
+    cfg = ServiceConfig(fsync=False, snapshot_every=0, **cfg_kwargs)
+    factory = build_factory("SWConnectivityEager", N, SEED)
+    return ReplicatedService(factory, tmp_path / "data", cfg, followers=followers)
+
+
+@pytest.fixture
+def gateway(tmp_path):
+    with make_service(tmp_path) as rs:
+        gw = Gateway(rs, GatewayConfig(port=0)).start()
+        try:
+            yield gw
+        finally:
+            gw.close()
+
+
+class _Client:
+    """Minimal keep-alive HTTP client returning (status, headers, bytes)."""
+
+    def __init__(self, gw: Gateway) -> None:
+        host, port = gw.address
+        self.conn = http.client.HTTPConnection(host, port, timeout=10)
+
+    def request(self, method: str, path: str, body: bytes | None = None):
+        headers = {"Content-Type": "application/json"} if body else {}
+        self.conn.request(method, path, body=body, headers=headers)
+        resp = self.conn.getresponse()
+        return resp.status, dict(resp.getheaders()), resp.read()
+
+    def post(self, path: str, payload: dict):
+        status, _, raw = self.request("POST", path, json.dumps(payload).encode())
+        return status, json.loads(raw)
+
+    def get(self, path: str):
+        status, _, raw = self.request("GET", path)
+        return status, json.loads(raw)
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+@pytest.fixture
+def client(gateway):
+    c = _Client(gateway)
+    yield c
+    c.close()
+
+
+# -- write / read / health / metrics ------------------------------------
+
+
+def test_write_returns_lsn_token_and_epoch(client, gateway):
+    status, body = client.post("/v1/write", {"edges": [[0, 1], [1, 2]]})
+    assert status == 200
+    assert set(body) == {"lsn", "epoch"}
+    first = body["lsn"]
+    assert isinstance(first, int) and isinstance(body["epoch"], int)
+    status, body = client.post(
+        "/v1/write", {"edges": [[2, 3]], "expire": 1}
+    )
+    # Tokens are totally ordered: one round later, one token later.
+    assert status == 200 and body["lsn"] == first + 1
+
+
+def test_read_your_writes_through_gateway(client):
+    _, w = client.post("/v1/write", {"edges": [[0, 1], [1, 2], [4, 5]]})
+    status, body = client.post(
+        "/v1/read",
+        {
+            "queries": [["connected", 0, 2], ["connected", 0, 5], ["components"]],
+            "at_least": w["lsn"],
+        },
+    )
+    assert status == 200
+    assert body["answers"] == [True, False, N - 3]
+    assert body["lsn"] >= w["lsn"] + 1
+    assert body["stale"] is False
+
+
+def test_health_and_metrics(client):
+    status, health = client.get("/v1/health")
+    assert status == 200
+    assert health["status"] == "ok"
+    assert health["primary"]["alive"] is True
+    assert health["followers"] == 1
+    assert health["workers"] == []
+    status, metrics = client.get("/v1/metrics")
+    assert status == 200
+    assert metrics["counters"]["gateway.requests"] >= 2
+
+
+# -- the differential contract ------------------------------------------
+
+DIFFERENTIAL_QUERIES = [
+    ["connected", 0, 2],
+    ["path_max", 0, 5],
+    ["connected", 7, 8],
+    ["components"],
+    ["window_size"],
+]
+
+
+def answers_bytes_from_response(raw: bytes) -> bytes:
+    """The exact bytes of the ``answers`` value in a read response.
+
+    Canonical encoding sorts keys, so the body is
+    ``{"answers":<value>,"lsn":...`` -- the slice between those markers
+    is the value's verbatim wire form.
+    """
+    prefix = b'{"answers":'
+    assert raw.startswith(prefix), raw
+    return raw[len(prefix) : raw.index(b',"lsn":')]
+
+
+def test_gateway_read_matches_query_service_byte_for_byte(gateway, client):
+    _, w = client.post(
+        "/v1/write",
+        {"edges": [[0, 1], [1, 2], [2, 5], [7, 8], [8, 9], [3, 4]]},
+    )
+    _, w2 = client.post("/v1/write", {"edges": [[5, 6]], "expire": 2})
+    token = w2["lsn"]
+
+    status, _, raw = client.request(
+        "POST",
+        "/v1/read",
+        json.dumps(
+            {"queries": DIFFERENTIAL_QUERIES, "at_least": token}
+        ).encode(),
+    )
+    assert status == 200
+
+    qs = QueryService(gateway.service, on_lag="catch_up")
+    direct = qs.run(
+        [tuple(q) for q in DIFFERENTIAL_QUERIES], at_least=token
+    )
+    assert answers_bytes_from_response(raw) == dumps(direct.answers)
+
+
+# -- error paths: structured, never a stack trace -----------------------
+
+
+def test_malformed_json_body_is_structured_400(client):
+    for path in ("/v1/read", "/v1/write"):
+        status, _, raw = client.request("POST", path, b"{not json!")
+        assert status == 400
+        assert b"Traceback" not in raw
+        body = json.loads(raw)
+        assert body["error"]["type"] == "bad_request"
+        assert "JSON" in body["error"]["message"]
+
+
+def test_non_object_body_is_structured_400(client):
+    status, _, raw = client.request("POST", "/v1/read", b'[1, 2]')
+    assert status == 400
+    assert json.loads(raw)["error"]["type"] == "bad_request"
+
+
+def test_unknown_query_kind_is_400(client):
+    status, body = client.post("/v1/read", {"queries": [["frobnicate"]]})
+    assert status == 400
+    assert body["error"]["type"] == "bad_request"
+    assert "frobnicate" in body["error"]["message"]
+
+
+def test_unsupported_query_is_400(client):
+    # SWConnectivityEager cannot answer 'certificate'; the kind is valid
+    # on the wire but not for this structure.
+    status, body = client.post("/v1/read", {"queries": [["certificate"]]})
+    assert status == 400
+    assert body["error"]["type"] == "unsupported_query"
+
+
+def test_routing_404_and_405(client):
+    status, body = client.get("/nope")
+    assert status == 404 and body["error"]["type"] == "not_found"
+    status, _, raw = client.request("GET", "/v1/read")
+    assert status == 405
+    assert json.loads(raw)["error"]["type"] == "method_not_allowed"
+
+
+def test_overload_is_429_with_retry_after(gateway, client, monkeypatch):
+    def overloaded(*a, **k):
+        raise ServiceOverloaded("8 batches already in flight", retry_after=0.25)
+
+    monkeypatch.setattr(gateway.query, "run", overloaded)
+    status, headers, raw = client.request(
+        "POST", "/v1/read", json.dumps({"queries": [["components"]]}).encode()
+    )
+    assert status == 429
+    body = json.loads(raw)
+    assert body["error"]["type"] == "overloaded"
+    assert body["error"]["retry_after"] == 0.25
+    assert headers.get("Retry-After") == "0.250"
+
+
+def test_future_token_served_by_primary_under_catch_up(client):
+    # The default lag policy (catch_up) answers a beyond-durable token
+    # from the authoritative primary rather than failing the read.
+    status, body = client.post(
+        "/v1/read", {"queries": [["components"]], "at_least": 10_000}
+    )
+    assert status == 200
+    assert body["replica"] == "primary"
+
+
+def test_unsatisfiable_token_is_503_under_wait(tmp_path):
+    # Under on_lag="wait" the same token times out into a structured
+    # 503 staleness_exceeded with a retry hint.
+    with make_service(tmp_path) as rs:
+        rs.write([(0, 1)])
+        qs = QueryService(rs, on_lag="wait", wait_timeout=0.2)
+        gw = Gateway(rs, GatewayConfig(port=0), query_service=qs).start()
+        client = _Client(gw)
+        try:
+            status, _, raw = client.request(
+                "POST",
+                "/v1/read",
+                json.dumps(
+                    {"queries": [["components"]], "at_least": 10_000}
+                ).encode(),
+            )
+            assert status == 503
+            assert b"Traceback" not in raw
+            body = json.loads(raw)
+            assert body["error"]["type"] == "staleness_exceeded"
+            assert "retry_after" in body["error"]
+        finally:
+            client.close()
+            gw.close()
+
+
+def test_internal_errors_name_the_type_not_the_traceback(
+    gateway, client, monkeypatch
+):
+    def boom(*a, **k):
+        raise RuntimeError("wires crossed")
+
+    monkeypatch.setattr(gateway.query, "run", boom)
+    status, _, raw = client.request(
+        "POST", "/v1/read", json.dumps({"queries": [["components"]]}).encode()
+    )
+    assert status == 500
+    assert b"Traceback" not in raw
+    body = json.loads(raw)
+    assert body["error"]["type"] == "internal"
+    assert "RuntimeError" in body["error"]["message"]
+
+
+# -- the worker tier ----------------------------------------------------
+
+
+def spawn_worker(data_dir, fid=0, **flags):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    args = [
+        sys.executable, "-m", "repro.replication.worker",
+        "--data-dir", str(data_dir),
+        "--structure", "SWConnectivityEager",
+        "--n", str(N), "--seed", str(SEED),
+        "--port", "0", "--fid", str(fid),
+        "--tail-interval", "0.01",
+    ]
+    for flag, value in flags.items():
+        args += [f"--{flag.replace('_', '-')}", str(value)]
+    proc = subprocess.Popen(
+        args, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env
+    )
+    line = proc.stdout.readline().strip()
+    assert line.startswith("REPRO-WORKER READY"), (line, proc.stderr.read())
+    _, _, host, port, _ = line.split()
+    return proc, f"{host}:{port}"
+
+
+def test_worker_registry_covers_all_structures():
+    assert {
+        "SWConnectivity",
+        "SWConnectivityEager",
+        "SWBipartiteness",
+        "SWApproxMSFWeight",
+        "SWKCertificate",
+        "SWCycleFree",
+        "SWSparsifier",
+    } <= set(STRUCTURES)
+
+
+def test_worker_routing_differential_and_fallback(tmp_path):
+    """One worker subprocess: routed reads are byte-identical to the
+    direct QueryService under the same token, and killing the worker
+    degrades to in-process serving instead of failing reads."""
+    with make_service(tmp_path, followers=1) as rs:
+        token = rs.write([(0, 1), (1, 2), (7, 8), (8, 9), (3, 4)])
+        token = rs.write([(5, 6)], expire=1)
+        proc, addr = spawn_worker(tmp_path / "data", fid=3)
+        gw = Gateway(rs, GatewayConfig(port=0, workers=(addr,))).start()
+        client = _Client(gw)
+        try:
+            body_bytes = json.dumps(
+                {"queries": DIFFERENTIAL_QUERIES, "at_least": token}
+            ).encode()
+            status, _, raw = client.request("POST", "/v1/read", body_bytes)
+            assert status == 200
+            routed = json.loads(raw)
+            assert routed["replica"] == "worker3"
+
+            qs = QueryService(rs, on_lag="catch_up")
+            direct = qs.run(
+                [tuple(q) for q in DIFFERENTIAL_QUERIES], at_least=token
+            )
+            assert answers_bytes_from_response(raw) == dumps(direct.answers)
+
+            health = client.get("/v1/health")[1]
+            assert [w["alive"] for w in health["workers"]] == [True]
+
+            # Kill the worker: reads fall back in-process, same answers.
+            proc.terminate()
+            proc.wait(timeout=10)
+            status, _, raw2 = client.request("POST", "/v1/read", body_bytes)
+            assert status == 200
+            fallback = json.loads(raw2)
+            assert not fallback["replica"].startswith("worker")
+            assert answers_bytes_from_response(raw2) == dumps(direct.answers)
+        finally:
+            client.close()
+            gw.close()
+            if proc.poll() is None:
+                proc.kill()
+
+
+def test_worker_protocol_stale_bad_frame_and_stop(tmp_path):
+    """Raw frame protocol: stale verdict for an undurable token, a
+    structured reply (not a dropped socket) for a bad frame, and a clean
+    acknowledged stop."""
+    with make_service(tmp_path, followers=0) as rs:
+        rs.write([(0, 1)])
+        proc, addr = spawn_worker(tmp_path / "data", fid=1)
+        host, port = parse_addr(addr)
+        try:
+            sock = socket.create_connection((host, port), timeout=10)
+            rfile = sock.makefile("rb")
+
+            def roundtrip(payload: bytes) -> dict:
+                sock.sendall(payload + b"\n")
+                return json.loads(rfile.readline())
+
+            reply = roundtrip(
+                dumps({"op": "read", "queries": [["connected", 0, 1]],
+                       "required": 10_000})
+            )
+            assert reply["ok"] is False and reply["error"] == "stale"
+            assert reply["fid"] == 1 and reply["lsn"] < 10_000
+            # An unknown op is a structured verdict, connection kept.
+            reply = roundtrip(dumps({"op": "launder"}))
+            assert reply["ok"] is False and reply["error"] == "bad_frame"
+            # An undecodable frame gets a structured reply, then the
+            # worker drops the connection (framing is unrecoverable).
+            reply = roundtrip(b"this is not json")
+            assert reply["ok"] is False and reply["error"] == "bad_frame"
+            assert rfile.readline() == b""
+            sock.close()
+            sock = socket.create_connection((host, port), timeout=10)
+            rfile = sock.makefile("rb")
+            reply = roundtrip(dumps({"op": "stop"}))
+            assert reply == {"ok": True, "stopping": True}
+            assert proc.wait(timeout=10) == 0
+            sock.close()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+
+def test_worker_pool_benches_dead_workers(tmp_path):
+    pool = WorkerPool(["127.0.0.1:1"], retry_s=30.0)
+    with pytest.raises(WorkerUnavailable):
+        pool.read([["components"]], 0)
+    # Benched: the second attempt reports the bench, not a fresh dial.
+    with pytest.raises(WorkerUnavailable, match="benched"):
+        pool.read([["components"]], 0)
+    pool.close()
+
+
+# -- load generator -----------------------------------------------------
+
+
+def test_zipfish_is_seeded_and_bounded():
+    import random
+
+    s = _Zipfish(64, 1.1)
+    draws = [s.draw(random.Random(7)) for _ in range(5)]
+    assert draws == [s.draw(random.Random(7)) for _ in range(5)]
+    assert all(0 <= d < 64 for d in draws)
+    uniform = _Zipfish(64, 0.0)
+    assert 0 <= uniform.draw(random.Random(7)) < 64
+
+
+def test_loadgen_drives_gateway(gateway):
+    host, port = gateway.address
+    report = run_load(
+        host,
+        port,
+        LoadConfig(
+            duration_s=0.4,
+            clients=200,
+            think_s=1.0,
+            read_fraction=0.8,
+            read_batch=4,
+            write_batch=2,
+            n=N,
+            pool=2,
+            seed=7,
+        ),
+    )
+    assert report.completed > 0
+    assert report.reads > 0 and report.writes > 0
+    assert report.errors == {}
+    assert report.p99_ms >= report.p50_ms > 0
+    d = report.as_dict()
+    assert d["reads_per_s"] > 0 and d["offered"] >= d["completed"]

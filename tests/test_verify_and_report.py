@@ -111,3 +111,22 @@ class TestReport:
 
     def test_main_missing_dir(self, tmp_path: pathlib.Path):
         assert report_main([str(tmp_path / "nope")]) == 1
+
+    def test_build_report_places_gateway_in_service_layer(
+        self, tmp_path: pathlib.Path
+    ):
+        (tmp_path / "gateway.txt").write_text("GATEWAY TABLE")
+        report = build_report(tmp_path)
+        assert "Service layer" in report and "GATEWAY TABLE" in report
+
+    def test_trace_renders_committed_gateway_record(self, capsys):
+        """``--trace`` on the committed gateway benchmark artifact."""
+        rec = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "bench_results" / "gateway.json"
+        )
+        assert report_main(["--trace", str(rec)]) == 0
+        out = capsys.readouterr().out
+        assert "gateway" in out
+        # The sweep configuration is stamped into the record's params.
+        assert "params:" in out and "workers=" in out
