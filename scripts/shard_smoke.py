@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the sharded serving tier, sized for CI.
+
+One run stands up the sharded topology from docs/sharding.md in
+miniature -- a :class:`~repro.sharding.sharded.ShardedService` of two
+shard groups (each a durable
+:class:`~repro.replication.replicated.ReplicatedService` with one
+follower) behind an HTTP :class:`~repro.gateway.server.Gateway` -- and
+asserts three things end to end:
+
+- **Liveness.**  A few seconds of seeded partition-skewed
+  :func:`~repro.loadgen.run_load` traffic (drawn against the deployed
+  router, ``--shards 2``) completes nonzero reads and writes with no
+  transport/HTTP error classes, and ``GET /v1/health`` reports the
+  sharded fleet ``ok``.
+- **The differential contract.**  A seeded stream mirrored into an
+  unsharded oracle: every read through the HTTP front door -- under the
+  vector token the sharded write returned -- must be byte-identical to
+  the oracle's :class:`~repro.service.query.QueryService` answer under
+  the matching scalar token.
+- **Failover.**  Mid-stream, one shard group's primary is failed over
+  to its follower; the response epoch vector must fence forward and the
+  differential must keep holding afterwards.
+
+This is a correctness/liveness gate sized well under a minute;
+throughput numbers come from ``benchmarks/bench_shards.py``.  Prints a
+summary line and ``shard smoke PASS`` on success; exits nonzero on any
+failure.
+
+Usage::
+
+    PYTHONPATH=src python scripts/shard_smoke.py             # ~5 s run
+    PYTHONPATH=src python scripts/shard_smoke.py --duration 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import pathlib
+import random
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.gateway import Gateway, GatewayConfig  # noqa: E402
+from repro.gateway.protocol import dumps, jsonable  # noqa: E402
+from repro.loadgen import LoadConfig, PartitionSampler, run_load  # noqa: E402
+from repro.replication import ReplicatedService  # noqa: E402
+from repro.service import ServiceConfig  # noqa: E402
+from repro.service.query import QueryService  # noqa: E402
+from repro.sharding import (  # noqa: E402
+    ShardRouter,
+    ShardedService,
+    make_member_factory,
+)
+from repro.sliding_window import SWConnectivityEager  # noqa: E402
+
+N = 64
+SEED = 13
+SHARDS = 2
+ROUNDS = 40
+FAILOVER_AT = 20
+
+
+def differential(host: str, port: int, svc, oracle, failures: list[str]):
+    """Mirror a seeded stream through HTTP and the oracle; compare bytes."""
+    oq = QueryService(oracle)
+    sampler = PartitionSampler(
+        N, 1.1, router=svc.router, partition_skew=0.8
+    )
+    rng = random.Random(SEED)
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    checks = 0
+    try:
+        for step in range(ROUNDS):
+            edges = [sampler.draw_pair(rng) for _ in range(3)]
+            expire = 2 if step % 4 == 3 else 0
+            token = oracle.write(edges, expire)
+            conn.request(
+                "POST",
+                "/v1/write",
+                body=dumps(
+                    {"edges": [list(e) for e in edges], "expire": expire}
+                ),
+                headers={"Content-Type": "application/json"},
+            )
+            body = json.loads(conn.getresponse().read())
+            vector = body["lsn"]
+            if step == FAILOVER_AT:
+                svc.poll()
+                svc.promote(1).close()
+            want_epoch = svc.epochs
+            if body["epoch"] != ([0, 0] if step <= FAILOVER_AT else want_epoch):
+                failures.append(
+                    f"step {step}: epoch vector {body['epoch']} != "
+                    f"{want_epoch}"
+                )
+            if step % 4 == 1 or step in (FAILOVER_AT + 1, ROUNDS - 1):
+                batch = [["components"], ["window_size"]]
+                for i in range(6):
+                    kind = "connected" if i % 2 == 0 else "path_max"
+                    batch.append([kind, *sampler.draw_pair(rng)])
+                conn.request(
+                    "POST",
+                    "/v1/read",
+                    body=dumps({"queries": batch, "at_least": vector}),
+                    headers={"Content-Type": "application/json"},
+                )
+                raw = conn.getresponse().read()
+                prefix = b'{"answers":'
+                got = raw[len(prefix): raw.index(b',"lsn":')]
+                want = dumps(
+                    jsonable(
+                        oq.run(
+                            [tuple(q) for q in batch], at_least=token
+                        ).answers
+                    )
+                )
+                checks += 1
+                if got != want:
+                    failures.append(
+                        f"step {step}: sharded answers {got!r} != "
+                        f"oracle {want!r}"
+                    )
+    finally:
+        conn.close()
+    if svc.epochs != [0, 1]:
+        failures.append(f"failover never fenced: epochs {svc.epochs}")
+    return checks
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="load run length, seconds (default: 5)")
+    parser.add_argument("--seed", type=int, default=SEED)
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="shard-smoke-") as tmp:
+        tmp_path = pathlib.Path(tmp)
+        cfg = ServiceConfig(fsync=False, snapshot_every=0)
+        router = ShardRouter(N, SHARDS, scheme="hash")
+        with ShardedService(
+            make_member_factory(N, seed=SEED),
+            tmp_path / "sharded",
+            router,
+            cfg,
+            followers=1,
+        ) as svc, ReplicatedService(
+            lambda: SWConnectivityEager(N, seed=SEED),
+            tmp_path / "oracle",
+            cfg,
+        ) as oracle:
+            gw = Gateway(svc, GatewayConfig(port=0)).start()
+            try:
+                host, port = gw.address
+                # Differential first, while the mirrored streams are the
+                # *only* traffic; the open-loop load then piles on top
+                # of the (post-failover) fleet for the liveness check.
+                checks = differential(host, port, svc, oracle, failures)
+
+                report = run_load(host, port, LoadConfig(
+                    duration_s=args.duration, clients=1000, think_s=5.0,
+                    n=N, pool=4, seed=args.seed,
+                    shards=SHARDS, partition_skew=0.8,
+                ))
+                if report.reads == 0:
+                    failures.append("load run completed zero reads")
+                if report.writes == 0:
+                    failures.append("load run completed zero writes")
+                if report.errors:
+                    failures.append(f"request errors: {report.errors}")
+
+                conn = http.client.HTTPConnection(host, port, timeout=10)
+                conn.request("GET", "/v1/health")
+                health = json.loads(conn.getresponse().read())
+                conn.close()
+                if health.get("status") != "ok":
+                    failures.append(f"health not ok: {health}")
+                if not health.get("sharded") or len(
+                    health.get("shards", [])
+                ) != SHARDS:
+                    failures.append(f"health fleet malformed: {health}")
+            finally:
+                gw.close()
+
+    print(
+        f"shard smoke: {SHARDS} shard groups, "
+        f"{report.reads_per_s:.0f} reads/s, "
+        f"{report.writes_per_s:.0f} writes/s over {args.duration:.0f}s; "
+        f"{checks} differential checks incl. one failover, "
+        f"{time.perf_counter() - t0:.1f}s total"
+    )
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    if failures:
+        return 1
+    print("shard smoke PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

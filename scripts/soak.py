@@ -28,6 +28,14 @@ Usage::
     PYTHONPATH=src python scripts/soak.py                # defaults
     PYTHONPATH=src python scripts/soak.py --seed 99 --events 80
     PYTHONPATH=src python scripts/soak.py --engine array --p99-ms 500
+    PYTHONPATH=src python scripts/soak.py --shards 4 --rounds 80
+
+``--shards K`` (K > 1) switches to the sharded-tier soak: a
+:class:`~repro.sharding.sharded.ShardedService` of K shard groups takes
+a tape of shard-primary failovers (one kill/promotion per shard) while
+a partition-skewed stream commits, and a mixed query batch must stay
+byte-identical to the fault-free unsharded oracle after every few
+rounds -- including the round of each promotion.
 """
 
 from __future__ import annotations
@@ -47,9 +55,17 @@ sys.path.insert(
 
 from repro.chaos import ChaosDriver, ChaosSchedule, FaultyIO  # noqa: E402
 from repro.chaos.schedule import replay_oracle  # noqa: E402
+from repro.gateway.protocol import dumps, jsonable  # noqa: E402
 from repro.graphgen import bursty_stream  # noqa: E402
+from repro.loadgen import PartitionSampler  # noqa: E402
 from repro.replication import ReplicatedService  # noqa: E402
 from repro.service import RetryPolicy, ServiceConfig  # noqa: E402
+from repro.service.query import QueryService  # noqa: E402
+from repro.sharding import (  # noqa: E402
+    ShardRouter,
+    ShardedService,
+    make_member_factory,
+)
 from repro.sliding_window import SWConnectivityEager  # noqa: E402
 
 N = 48
@@ -183,6 +199,108 @@ def soak_once(engine: str, args) -> dict:
     }
 
 
+def soak_sharded(engine: str, args) -> dict:
+    """One seeded sharded soak: K shard groups vs. the unsharded oracle.
+
+    A chaos tape of shard-primary kill/promotions plays against a live
+    :class:`~repro.sharding.sharded.ShardedService` while a seeded
+    partition-skewed stream keeps committing rounds; after every few
+    rounds -- including immediately after each failover -- a mixed query
+    batch must serialize byte-identical to the fault-free unsharded
+    oracle's answer under the matching tokens.
+    """
+    seeds = seed_family(args.seed)
+    tape = random.Random(seeds["tape"])
+    # One promotion per shard, at distinct steps spread across the
+    # middle of the stream.
+    promote_steps = dict(
+        zip(
+            tape.sample(
+                range(args.rounds // 4, 3 * args.rounds // 4), args.shards
+            ),
+            range(args.shards),
+        )
+    )
+    router = ShardRouter(N, args.shards, scheme="hash")
+    sampler = PartitionSampler(
+        N, 1.1, router=router, partition_skew=0.8
+    )
+    rng = random.Random(seeds["stream"])
+    step_walls: list[float] = []
+    failures: list[str] = []
+    promotions = checks = 0
+    with tempfile.TemporaryDirectory(prefix="repro-soak-shard-") as tmp:
+        tmp_path = pathlib.Path(tmp)
+        cfg = ServiceConfig(fsync=False, snapshot_every=0)
+        svc = ShardedService(
+            make_member_factory(N, seed=seeds["structure"], engine=engine),
+            tmp_path / "sharded",
+            router,
+            cfg,
+            followers=args.followers,
+        )
+        oracle = ReplicatedService(
+            lambda: SWConnectivityEager(
+                N, seed=seeds["structure"], engine=engine
+            ),
+            tmp_path / "oracle",
+            cfg,
+        )
+        oq = QueryService(oracle)
+        t_run = time.perf_counter()
+        try:
+            for step in range(args.rounds):
+                t0 = time.perf_counter()
+                edges = [sampler.draw_pair(rng) for _ in range(4)]
+                expire = 2 if step % 3 == 2 else 0
+                token = oracle.write(edges, expire)
+                vector = svc.write(edges, expire=expire)
+                if step in promote_steps:
+                    shard = promote_steps[step]
+                    svc.poll()
+                    svc.promote(shard).close()
+                    promotions += 1
+                if step % 5 == 4 or step in promote_steps:
+                    batch = [("components",), ("window_size",)]
+                    for i in range(6):
+                        kind = "connected" if i % 2 == 0 else "path_max"
+                        batch.append((kind, *sampler.draw_pair(rng)))
+                    want = oq.run(batch, at_least=token).answers
+                    got = svc.query(batch, at_least=vector).answers
+                    checks += 1
+                    if dumps(jsonable(got)) != dumps(jsonable(want)):
+                        failures.append(
+                            f"step {step}: sharded {got} != oracle {want}"
+                        )
+                step_walls.append(time.perf_counter() - t0)
+            run_wall = time.perf_counter() - t_run
+        finally:
+            oracle.close()
+            svc.close()
+    if promotions < args.shards:
+        failures.append(f"tape promoted only {promotions} shard primaries")
+    walls = sorted(step_walls)
+    p99_ms = walls[min(len(walls) - 1, int(0.99 * len(walls)))] * 1e3
+    if p99_ms > args.p99_ms:
+        failures.append(
+            f"p99 step wall {p99_ms:.1f}ms exceeds budget {args.p99_ms}ms"
+        )
+    return {
+        "engine": engine,
+        "mode": f"sharded-k{args.shards}",
+        "seed": args.seed,
+        "seeds": seeds,
+        "rounds": args.rounds,
+        "shards": args.shards,
+        "promotions": promotions,
+        "differential_checks": checks,
+        "p99_step_ms": round(p99_ms, 2),
+        "wall_s": round(run_wall, 2),
+        "failures": failures,
+        "converged": not failures,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python scripts/soak.py", description=__doc__.splitlines()[0]
@@ -212,12 +330,24 @@ def main(argv: list[str] | None = None) -> int:
         default=2000.0,
         help="p99 per-round wall budget in milliseconds",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "run the sharded-tier soak over K shard groups instead "
+            "(failovers + differential vs. the unsharded oracle)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     engines = ["array", "object"] if args.engine == "both" else [args.engine]
     ok = True
     for engine in engines:
-        summary = soak_once(engine, args)
+        if args.shards > 1:
+            summary = soak_sharded(engine, args)
+        else:
+            summary = soak_once(engine, args)
         print(json.dumps(summary, sort_keys=False))
         if not summary["converged"]:
             # A red soak must be reproducible from the log alone: name
@@ -231,7 +361,8 @@ def main(argv: list[str] | None = None) -> int:
                 f"--seed {args.seed} --events {args.events} "
                 f"--rounds {args.rounds} "
                 f"--primary-kills {args.primary_kills} "
-                f"--followers {args.followers} --engine {engine}",
+                f"--followers {args.followers} --engine {engine} "
+                f"--shards {args.shards}",
                 file=sys.stderr,
             )
         ok &= summary["converged"]

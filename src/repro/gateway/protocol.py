@@ -156,10 +156,30 @@ def parse_edges(raw: Any) -> list[tuple]:
     return out
 
 
-def parse_consistency(body: dict) -> tuple[int | None, int | None]:
-    """Validate the optional ``at_least`` / ``max_staleness`` fields."""
+def parse_consistency(
+    body: dict, shards: int | None = None
+) -> tuple[Any, int | None]:
+    """Validate the optional ``at_least`` / ``max_staleness`` fields.
+
+    Against a sharded backend (``shards=K``) ``at_least`` is a **vector
+    token** -- an array of ``K`` per-shard LSNs, exactly what a sharded
+    write returned (``-1`` marks a shard with no requirement); against
+    the unsharded backend it is the familiar single integer.
+    """
     at_least = body.get("at_least")
-    if at_least is not None:
+    if at_least is not None and shards is not None:
+        if not isinstance(at_least, list) or len(at_least) != shards:
+            raise BadRequest(
+                f"'at_least' must be an array of {shards} per-shard "
+                "tokens against a sharded backend"
+            )
+        at_least = [
+            _require_int(x, f"'at_least'[{i}]")
+            for i, x in enumerate(at_least)
+        ]
+        if any(x < -1 for x in at_least):
+            raise BadRequest("'at_least' entries must be >= -1")
+    elif at_least is not None:
         at_least = _require_int(at_least, "'at_least'")
         if at_least < 0:
             raise BadRequest("'at_least' must be >= 0")

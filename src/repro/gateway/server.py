@@ -224,9 +224,15 @@ class Gateway:
     ) -> None:
         self.service = service
         self.config = config if config is not None else GatewayConfig()
+        #: A sharded backend (duck-typed on ``is_sharded``) routes its
+        #: own reads across shard groups; the gateway then delegates to
+        #: :meth:`ShardedService.query <repro.sharding.sharded.
+        #: ShardedService.query>` instead of a single ``QueryService``,
+        #: and the worker fleet (which tails *one* WAL) does not apply.
+        self.sharded = bool(getattr(service, "is_sharded", False))
         self.query = (
             query_service
-            if query_service is not None
+            if query_service is not None or self.sharded
             else QueryService(service, on_lag="catch_up", spread_lag=10**9)
         )
         self.pool: WorkerPool | None = (
@@ -236,7 +242,7 @@ class Gateway:
                 retry_s=self.config.worker_retry_s,
                 conns_per_worker=self.config.worker_conns,
             )
-            if self.config.workers
+            if self.config.workers and not self.sharded
             else None
         )
         self._httpd: _GatewayHTTPServer | None = None
@@ -251,21 +257,39 @@ class Gateway:
         if isinstance(expire, bool) or not isinstance(expire, int) or expire < 0:
             raise BadRequest("'expire' must be a non-negative integer")
         m = get_metrics()
-        cost = self.service.primary.cost
+        cost = (
+            self.service.cost if self.sharded else self.service.primary.cost
+        )
         with cost.phase("gateway-write", items=len(edges)):
             lsn = self.service.write(edges, expire=expire)
         m.counter("gateway.writes").inc()
         m.counter("gateway.write_edges").inc(len(edges))
+        if self.sharded:
+            # The token is a per-shard LSN vector, the epoch likewise.
+            return {"lsn": lsn, "epoch": self.service.epochs}
         return {"lsn": lsn, "epoch": self.service.epoch}
 
     def handle_read(self, body: dict) -> dict:
         """``POST /v1/read``: one grouped batch under the requested
         consistency level, preferring the worker fleet."""
         queries = parse_queries(body.get("queries"))
-        at_least, max_staleness = parse_consistency(body)
+        at_least, max_staleness = parse_consistency(
+            body, shards=self.service.shards if self.sharded else None
+        )
         m = get_metrics()
         m.counter("gateway.read_batches").inc()
         m.counter("gateway.reads").inc(len(queries))
+        if self.sharded:
+            res = self.service.query(
+                queries, at_least=at_least, max_staleness=max_staleness
+            )
+            m.counter("gateway.inprocess_reads").inc()
+            return {
+                "answers": jsonable(res.answers),
+                "lsn": res.vector,
+                "replica": res.replica,
+                "stale": res.stale,
+            }
         if self.pool is not None and len(self.pool):
             required = 0 if at_least is None else at_least + 1
             if max_staleness is not None:
@@ -301,6 +325,20 @@ class Gateway:
 
     def handle_health(self) -> dict:
         """``GET /v1/health``: liveness, durable tip, fleet state."""
+        if self.sharded:
+            fleet = self.service.describe()
+            alive = all(
+                getattr(g.primary, "alive", True) for g in self.service.groups
+            )
+            return {
+                "status": "ok" if alive else "degraded",
+                "sharded": True,
+                "router": fleet["router"],
+                "boundary": fleet["boundary"],
+                "clock": fleet["clock"],
+                "shards": fleet["groups"],
+                "workers": [],
+            }
         primary = self.service.primary
         alive = bool(getattr(primary, "alive", True))
         workers = self.pool.health() if self.pool is not None else []

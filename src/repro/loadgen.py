@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.gateway.protocol import dumps
+from repro.sharding.router import ShardRouter
 
 #: The default read mix: kinds every connectivity structure answers.
 #: (``certificate``/``k_connected`` etc. are structure-specific; pass
@@ -95,6 +96,16 @@ class LoadConfig:
         expire_every: a write carries ``expire=write_batch`` once every
             this many writes, keeping the window from growing forever.
         read_kinds: the batch composition drawn from per read.
+        shards: shard groups the *served* tier is partitioned into; with
+            ``shards > 1`` every vertex pair (edges and pair reads) is
+            drawn through a :class:`PartitionSampler` sharing the
+            server's :class:`~repro.sharding.router.ShardRouter` mapping.
+        partition_skew: probability a drawn pair stays shard-local
+            (1.0: fully partitionable traffic; 0.0: adversarially
+            cross-shard).  Ignored when ``shards == 1``.
+        shard_scheme / shard_seed: the router parameters -- they must
+            match the served :class:`ShardedService`'s router for the
+            locality knob to mean anything.
         seed: the whole run -- arrival clock, mix, targets -- replays
             byte-identically given it.
     """
@@ -111,6 +122,10 @@ class LoadConfig:
     queue_cap: int = 256
     expire_every: int = 2
     read_kinds: tuple[str, ...] = _DEFAULT_READ_KINDS
+    shards: int = 1
+    partition_skew: float = 1.0
+    shard_scheme: str = "hash"
+    shard_seed: int = 0x5EED
     seed: int = 13
 
 
@@ -190,8 +205,79 @@ class _Zipfish:
         return lo
 
 
+class PartitionSampler:
+    """Seeded pair sampler with a shard-locality knob.
+
+    Singleton draws follow the :class:`_Zipfish` popularity law.  Pair
+    draws (edges, pair reads) are where sharding enters: given a router,
+    a pair stays **shard-local with probability exactly**
+    ``partition_skew`` -- the second endpoint is popularity-drawn
+    *conditioned* on landing on (resp. off) the first endpoint's home
+    shard.  ``partition_skew=1.0`` emits the fully partitionable stream,
+    ``0.0`` the adversarially cross-shard one; both the gateway bench
+    and ``benchmarks/bench_shards.py`` draw from this one generator.
+
+    Conditioning is by bounded rejection (the popularity shape within
+    the shard is preserved); the deterministic fallback after
+    ``_MAX_TRIES`` misses draws uniformly from the cached shard
+    membership, so a shard holding negligible popularity mass cannot
+    stall the arrival clock.
+    """
+
+    _MAX_TRIES = 64
+
+    def __init__(
+        self,
+        n: int,
+        skew: float,
+        router: ShardRouter | None = None,
+        partition_skew: float = 1.0,
+    ) -> None:
+        if not 0.0 <= partition_skew <= 1.0:
+            raise ValueError("partition_skew must be within [0, 1]")
+        self.base = _Zipfish(n, skew)
+        self.router = router if router is not None and router.shards > 1 else None
+        self.partition_skew = partition_skew
+        self._members: dict[int, list[int]] = {}
+        self._others: dict[int, list[int]] = {}
+
+    def draw(self, rng: random.Random) -> int:
+        return self.base.draw(rng)
+
+    def _shard_members(self, shard: int, local: bool) -> list[int]:
+        cache = self._members if local else self._others
+        got = cache.get(shard)
+        if got is None:
+            assert self.router is not None
+            got = [
+                v
+                for v in range(self.router.n)
+                if (self.router.shard_of(v) == shard) == local
+            ]
+            cache[shard] = got
+        return got
+
+    def draw_pair(self, rng: random.Random) -> tuple[int, int]:
+        u = self.base.draw(rng)
+        if self.router is None:
+            return u, self.base.draw(rng)
+        home = self.router.shard_of(u)
+        local = rng.random() < self.partition_skew
+        for _ in range(self._MAX_TRIES):
+            v = self.base.draw(rng)
+            if (self.router.shard_of(v) == home) == local:
+                return u, v
+        members = self._shard_members(home, local)
+        if not members:  # a one-shard router cannot produce a cut pair
+            return u, self.base.draw(rng)
+        return u, members[rng.randrange(len(members))]
+
+
 def _build_request(
-    cfg: LoadConfig, rng: random.Random, sampler: _Zipfish, write_no: int
+    cfg: LoadConfig,
+    rng: random.Random,
+    sampler: PartitionSampler,
+    write_no: int,
 ) -> tuple[str, bytes, bool]:
     """One arrival's ``(path, body, is_read)`` under the seeded mix."""
     if rng.random() < cfg.read_fraction:
@@ -199,15 +285,11 @@ def _build_request(
         for _ in range(cfg.read_batch):
             kind = rng.choice(cfg.read_kinds)
             if kind in ("connected", "path_max"):
-                batch.append(
-                    [kind, sampler.draw(rng), sampler.draw(rng)]
-                )
+                batch.append([kind, *sampler.draw_pair(rng)])
             else:
                 batch.append([kind])
         return "/v1/read", dumps({"queries": batch}), True
-    edges = [
-        [sampler.draw(rng), sampler.draw(rng)] for _ in range(cfg.write_batch)
-    ]
+    edges = [list(sampler.draw_pair(rng)) for _ in range(cfg.write_batch)]
     expire = cfg.write_batch if write_no % max(1, cfg.expire_every) == 0 else 0
     return "/v1/write", dumps({"edges": edges, "expire": expire}), False
 
@@ -215,7 +297,18 @@ def _build_request(
 def run_load(host: str, port: int, cfg: LoadConfig) -> LoadReport:
     """Drive one open-loop run against ``host:port``; returns the report."""
     rng = random.Random(cfg.seed)
-    sampler = _Zipfish(cfg.n, cfg.skew)
+    sampler = PartitionSampler(
+        cfg.n,
+        cfg.skew,
+        router=(
+            ShardRouter(
+                cfg.n, cfg.shards, scheme=cfg.shard_scheme, seed=cfg.shard_seed
+            )
+            if cfg.shards > 1
+            else None
+        ),
+        partition_skew=cfg.partition_skew,
+    )
     rate = cfg.clients / cfg.think_s  # merged Poisson arrival rate
     work: queue.Queue = queue.Queue(maxsize=cfg.queue_cap)
     lock = threading.Lock()
@@ -352,6 +445,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--n", type=int, default=512)
     parser.add_argument("--skew", type=float, default=1.1)
     parser.add_argument("--pool", type=int, default=8)
+    parser.add_argument("--shards", type=int, default=1,
+                        help="shard groups the served tier runs")
+    parser.add_argument("--partition-skew", type=float, default=1.0,
+                        help="probability a drawn pair stays shard-local")
+    parser.add_argument("--shard-scheme", default="hash",
+                        choices=("hash", "range"))
+    parser.add_argument("--shard-seed", type=int, default=0x5EED)
     parser.add_argument("--seed", type=int, default=13)
     args = parser.parse_args(sys.argv[1:] if argv is None else argv)
     host, _, port = args.url.replace("http://", "").rpartition(":")
@@ -368,6 +468,10 @@ def main(argv: list[str] | None = None) -> int:
         n=args.n,
         skew=args.skew,
         pool=args.pool,
+        shards=args.shards,
+        partition_skew=args.partition_skew,
+        shard_scheme=args.shard_scheme,
+        shard_seed=args.shard_seed,
         seed=args.seed,
     )
     report = run_load(host or "127.0.0.1", int(port), cfg)

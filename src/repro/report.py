@@ -39,7 +39,7 @@ _SECTIONS = [
             "table1_sparsifier_quality",
         ],
     ),
-    ("Service layer", ["service_throughput", "replication_reads", "gateway"]),
+    ("Service layer", ["service_throughput", "replication_reads", "gateway", "shards"]),
     (
         "Ablations",
         [
@@ -270,48 +270,76 @@ def render_trace_diff(path_a: pathlib.Path, path_b: pathlib.Path) -> int:
     return 0
 
 
-def render_wal(data_dir: pathlib.Path) -> int:
-    """Print one line summarising a service data directory's WAL."""
+def _wal_summary_of(data_dir: pathlib.Path) -> dict:
+    """One data directory's WAL summary dict; raises on damage."""
     from repro.service.service import WAL_DIRNAME, WAL_FILENAME
     from repro.service.wal import wal_summary
 
+    wal_dir = data_dir / WAL_DIRNAME
+    if not wal_dir.is_dir():
+        if not (data_dir / WAL_FILENAME).exists():
+            raise FileNotFoundError("no WAL")
+        # A legacy single-file layout: summarise it as one segment
+        # without migrating (read-only inspection must not mutate).
+        from repro.service.wal import read_wal
+
+        records, good = read_wal(data_dir / WAL_FILENAME)
+        return {
+            "segments": 1,
+            "base_lsn": records[0].lsn if records else 0,
+            "next_lsn": (records[-1].lsn + 1) if records else 0,
+            "rounds": len(records),
+            "bytes": good,
+            "epoch": records[-1].epoch if records else 0,
+        }
+    return wal_summary(wal_dir)
+
+
+def render_wal(data_dirs: list[pathlib.Path]) -> int:
+    """Summarise one or more service data directories' WALs.
+
+    One line per directory; with several (a sharded deployment's
+    ``shard0..shardK-1`` WAL dirs in one invocation) also a combined
+    totals line.  Every directory is inspected even after a failure --
+    one damaged shard must not hide the healthy ones' state -- and any
+    failure makes the exit status 1.
+    """
     from repro.service.wal import WalCorruption
 
-    wal_dir = data_dir / WAL_DIRNAME
-    if not wal_dir.is_dir() and not (data_dir / WAL_FILENAME).exists():
-        print(f"{data_dir}: no WAL", file=sys.stderr)
-        return 1
-    try:
-        if not wal_dir.is_dir():
-            # A legacy single-file layout: summarise it as one segment
-            # without migrating (read-only inspection must not mutate).
-            from repro.service.wal import read_wal
-
-            records, good = read_wal(data_dir / WAL_FILENAME)
-            s = {
-                "segments": 1,
-                "base_lsn": records[0].lsn if records else 0,
-                "next_lsn": (records[-1].lsn + 1) if records else 0,
-                "rounds": len(records),
-                "bytes": good,
-                "epoch": records[-1].epoch if records else 0,
-            }
-        else:
-            s = wal_summary(wal_dir)
-    except WalCorruption as exc:
-        # An inspection tool must diagnose a damaged log, not crash on
-        # it: name the damage and exit nonzero.
-        print(f"{data_dir}: corrupt WAL: {exc}", file=sys.stderr)
-        return 1
-    except OSError as exc:
-        print(f"{data_dir}: cannot read WAL: {exc}", file=sys.stderr)
-        return 1
-    print(
-        f"{data_dir}: {s['segments']} segment(s), "
-        f"lsn [{s['base_lsn']}, {s['next_lsn']}) "
-        f"({s['rounds']} rounds), {s['bytes']} bytes, epoch {s['epoch']}"
-    )
-    return 0
+    status = 0
+    summaries = []
+    for data_dir in data_dirs:
+        try:
+            s = _wal_summary_of(data_dir)
+        except FileNotFoundError:
+            print(f"{data_dir}: no WAL", file=sys.stderr)
+            status = 1
+            continue
+        except WalCorruption as exc:
+            # An inspection tool must diagnose a damaged log, not crash
+            # on it: name the damage and exit nonzero.
+            print(f"{data_dir}: corrupt WAL: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        except OSError as exc:
+            print(f"{data_dir}: cannot read WAL: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        summaries.append(s)
+        print(
+            f"{data_dir}: {s['segments']} segment(s), "
+            f"lsn [{s['base_lsn']}, {s['next_lsn']}) "
+            f"({s['rounds']} rounds), {s['bytes']} bytes, epoch {s['epoch']}"
+        )
+    if len(data_dirs) > 1 and summaries:
+        print(
+            f"combined: {len(summaries)}/{len(data_dirs)} dirs, "
+            f"{sum(s['segments'] for s in summaries)} segment(s), "
+            f"{sum(s['rounds'] for s in summaries)} rounds, "
+            f"{sum(s['bytes'] for s in summaries)} bytes, "
+            f"max epoch {max(s['epoch'] for s in summaries)}"
+        )
+    return status
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -338,9 +366,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--wal",
+        nargs="+",
         metavar="DATA_DIR",
-        help="print a one-line summary of a service data directory's "
-        "write-ahead log (segments, LSN range, bytes, epoch)",
+        help="print a one-line summary of each service data directory's "
+        "write-ahead log (segments, LSN range, bytes, epoch); several "
+        "directories (e.g. a sharded deployment's shard0..shardK-1) also "
+        "get a combined totals line",
     )
     parser.add_argument(
         "results",
@@ -357,7 +388,7 @@ def main(argv: list[str] | None = None) -> int:
             pathlib.Path(args.trace_diff[0]), pathlib.Path(args.trace_diff[1])
         )
     if args.wal:
-        return render_wal(pathlib.Path(args.wal))
+        return render_wal([pathlib.Path(p) for p in args.wal])
 
     results = pathlib.Path(args.results)
     if not results.is_dir():

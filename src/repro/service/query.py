@@ -122,6 +122,9 @@ _SCALAR_QUERIES = {
     "has_cycle": ("has_cycle", False),
     "is_bipartite": ("is_bipartite", False),
     "window_size": ("window_size", True),
+    # The sharded tier's contraction input (repro.sharding): the served
+    # structure's maintained MSF edge set as (u, v, w, eid) rows.
+    "forest": ("shard_forest", False),
 }
 
 

@@ -1,0 +1,33 @@
+"""Horizontal sharding: K replicated shard groups, one global answer.
+
+The serving tier's horizontal scaling story (``docs/sharding.md``):
+vertices are partitioned across ``K`` shard groups by a deterministic
+:class:`ShardRouter`; each group is a full
+:class:`~repro.replication.replicated.ReplicatedService` over a
+:class:`ShardMember` window structure driven by the *global* stream
+clock; and a :class:`BoundaryCoordinator` composes exact global
+``connected`` / ``path_max`` / ``components`` answers from the shards'
+forest summaries via the paper's Section 5.7 Gazit-style contraction.
+:class:`ShardedService` is the facade tying them together, with
+per-shard LSN *vector* tokens for read-your-writes.
+"""
+
+from repro.sharding.boundary import BoundaryCoordinator
+from repro.sharding.member import ShardMember, make_member_factory
+from repro.sharding.router import SCHEMES, ShardRouter
+from repro.sharding.sharded import (
+    SHARDED_KINDS,
+    ShardedService,
+    ShardReadResult,
+)
+
+__all__ = [
+    "BoundaryCoordinator",
+    "SCHEMES",
+    "SHARDED_KINDS",
+    "ShardMember",
+    "ShardReadResult",
+    "ShardRouter",
+    "ShardedService",
+    "make_member_factory",
+]

@@ -1,0 +1,135 @@
+"""Deterministic vertex partitioning for the sharded serving tier.
+
+:class:`ShardRouter` maps every vertex of ``0..n-1`` onto one of ``K``
+shard groups, and every edge onto a single stable *owner* shard -- the
+shard whose group ingests the edge and holds it in its local window
+structure.  Two schemes:
+
+- ``"hash"`` (default): a seeded multiplicative mix of the vertex id.
+  Spreads any vertex popularity skew evenly across the groups, at the
+  price of making almost every locality-free edge a cut edge.
+- ``"range"``: contiguous blocks -- vertex ``v`` lands on
+  ``v * K // n``.  A stream with spatial locality (the partitionable
+  streams of ``benchmarks/bench_shards.py``) stays almost entirely
+  shard-local under it.
+
+Edge ownership must not depend on endpoint order or on which replica
+evaluates it, so :meth:`owner` assigns ``(u, v)`` to the shard of
+``min(u, v)``: deterministic, symmetric, and stable for the lifetime of
+the deployment.  A *cut edge* (endpoints on different shards) still has
+exactly one owner; the owning shard holds it and the
+:class:`~repro.sharding.boundary.BoundaryCoordinator` glues its
+components to the neighbour shard's through the shared endpoint.
+
+Routing is pure arithmetic on immutable state -- no locks, and the
+loadgen process computes the same mapping the serving tier does (the
+``partition_skew`` knob of :mod:`repro.loadgen` relies on exactly that).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+#: Multiplicative mixers of the splitmix64 finalizer -- the same
+#: avalanche constants the RC-tree priority hash uses; stable across
+#: processes and Python versions (``hash()`` randomization never enters).
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+_MASK = (1 << 64) - 1
+
+SCHEMES = ("hash", "range")
+
+
+def _mix(x: int) -> int:
+    x &= _MASK
+    x ^= x >> 30
+    x = (x * _MIX1) & _MASK
+    x ^= x >> 27
+    x = (x * _MIX2) & _MASK
+    x ^= x >> 31
+    return x
+
+
+class ShardRouter:
+    """Deterministic vertex -> shard and edge -> owner assignment.
+
+    Args:
+        n: vertex id space (``0..n-1``), shared by every shard group.
+        shards: number of shard groups ``K >= 1``.
+        scheme: ``"hash"`` or ``"range"`` (see module docstring).
+        seed: perturbs the hash scheme only, so two deployments can
+            choose uncorrelated placements; the range scheme ignores it.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        shards: int,
+        scheme: str = "hash",
+        seed: int = 0x5EED,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        if n < 1:
+            raise ValueError(f"need a nonempty vertex space, got n={n}")
+        if scheme not in SCHEMES:
+            raise ValueError(
+                f"unknown scheme {scheme!r} (choose from {', '.join(SCHEMES)})"
+            )
+        self.n = n
+        self.shards = shards
+        self.scheme = scheme
+        self.seed = seed
+
+    # -- vertex and edge placement -------------------------------------
+
+    def shard_of(self, v: int) -> int:
+        """The home shard of vertex ``v`` (pure, O(1))."""
+        if not 0 <= v < self.n:
+            raise ValueError(f"vertex {v} outside 0..{self.n - 1}")
+        if self.shards == 1:
+            return 0
+        if self.scheme == "range":
+            return min(v * self.shards // self.n, self.shards - 1)
+        return _mix(v ^ _mix(self.seed)) % self.shards
+
+    def owner(self, u: int, v: int) -> int:
+        """The single shard that ingests and stores edge ``(u, v)``.
+
+        Symmetric (``owner(u, v) == owner(v, u)``) and stable: the shard
+        of the smaller endpoint.
+        """
+        return self.shard_of(min(u, v))
+
+    def is_cut(self, u: int, v: int) -> bool:
+        """Whether ``(u, v)`` spans two shard groups."""
+        return self.shard_of(u) != self.shard_of(v)
+
+    # -- batch helpers --------------------------------------------------
+
+    def split(
+        self, rows: Iterable[Sequence]
+    ) -> dict[int, list[Sequence]]:
+        """Partition edge ``rows`` (``(u, v, ...)``) by owner shard.
+
+        Row order is preserved inside each shard's list -- the global
+        arrival order restricted to that shard, which is what keeps the
+        per-shard ``tau`` subsequences strictly increasing.
+        """
+        out: dict[int, list[Sequence]] = {}
+        for row in rows:
+            out.setdefault(self.owner(row[0], row[1]), []).append(row)
+        return out
+
+    def members(self, shard: int) -> list[int]:
+        """Every vertex homed on ``shard`` (O(n); loadgen/bench setup)."""
+        return [v for v in range(self.n) if self.shard_of(v) == shard]
+
+    def describe(self) -> dict:
+        """JSON-ready routing summary (the gateway health endpoint)."""
+        return {
+            "scheme": self.scheme,
+            "shards": self.shards,
+            "n": self.n,
+            "seed": self.seed,
+        }

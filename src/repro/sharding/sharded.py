@@ -1,0 +1,450 @@
+"""K shard groups behind one write/read facade.
+
+:class:`ShardedService` turns the single-primary serving tier into ``K``
+horizontally partitioned shard groups.  Each group is a full
+:class:`~repro.replication.replicated.ReplicatedService` -- its own WAL
+directory, snapshots, epoch fencing, followers, and promotion -- over a
+:class:`~repro.sharding.member.ShardMember` structure; the replication
+stack is reused completely unchanged.
+
+**Writes.**  The facade owns the *global* stream clock.  One ``write``
+assigns global ``tau`` positions to its edges, routes each edge to its
+owner shard (:class:`~repro.sharding.router.ShardRouter`), and commits
+one WAL round per touched shard carrying the ``(u, v, tau)`` rows plus
+the round's *effective* window advance (the expire delta after the
+global clock capped it at the arrival tip -- so the sum of the expire
+payloads every shard ever sees is exactly the global window start).  The
+returned token is a **vector**: the committed LSN per shard, one
+read-your-writes token per group.
+
+**Reads.**  ``query`` composes global answers from shard-local state:
+
+- ``connected`` pairs homed on one shard first try that shard's
+  batched fast path (a shard-local path is a global path -- and a shard
+  whose window the global clock emptied answers ``False``, keeping the
+  one-sided check sound on lagging shards);
+- everything else -- cross-shard or locally-disconnected ``connected``,
+  ``path_max``, ``components`` -- goes through the
+  :class:`~repro.sharding.boundary.BoundaryCoordinator`: per-shard
+  ``("forest",)`` summaries are fetched through each group's
+  :class:`~repro.service.query.QueryService` (so lag policies, circuit
+  breakers, and follower routing all apply), cached by LSN version, and
+  contracted into a boundary graph plus the exact global MSF.
+
+Reads refresh a shard's summary only when its cached version is behind
+that group's durable tip: a quiet shard costs nothing no matter how busy
+its neighbours are.
+
+**Failover.**  :meth:`promote` fails one shard group over exactly as the
+unsharded tier does; the coordinator's cached summary for that shard is
+invalidated, because promotion may have discarded rounds (the new tip
+can be *behind* the cached version).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.obs.metrics import get_metrics
+from repro.replication.replicated import ReplicatedService
+from repro.runtime.cost import CostModel
+from repro.service.query import QueryService, UnsupportedQuery
+from repro.service.resilience import RetryPolicy
+from repro.service.service import ServiceConfig
+from repro.service.wal import OP_EXPIRE, OP_INSERT
+from repro.sharding.boundary import BoundaryCoordinator
+from repro.sharding.member import ShardMember
+from repro.sharding.router import ShardRouter
+from repro.sliding_window.base import WindowClock
+
+
+@dataclass(frozen=True)
+class ShardReadResult:
+    """One answered batch, with its per-shard consistency points.
+
+    Attributes:
+        answers: per-query answers, aligned with the submitted batch.
+        vector: per-shard LSNs the answer reflects -- shard ``k``'s entry
+            is the rounds replayed by whatever served its part (forest
+            summary or fast-path read); ``-1`` for a shard no part of
+            this batch needed.
+        replica: always ``"sharded"`` (the facade composes replicas).
+        stale: True when any component read was served degraded.
+    """
+
+    answers: list
+    vector: list[int]
+    replica: str = "sharded"
+    stale: bool = False
+
+
+#: Query kinds the sharded tier can compose globally.  The remaining
+#: kinds of :data:`repro.service.query._SCALAR_QUERIES` (certificates,
+#: cycle/bipartite monitors, ...) are properties of the whole edge set
+#: that shard-local summaries cannot reconstruct; they raise
+#: :class:`UnsupportedQuery` exactly like a structure without the method.
+SHARDED_KINDS = ("connected", "path_max", "components", "window_size")
+
+
+class ShardedService:
+    """K replicated shard groups behind one write/read facade.
+
+    Args:
+        factory: builds one empty :class:`ShardMember` (see
+            :func:`~repro.sharding.member.make_member_factory`); every
+            shard's primary and followers call the same factory.
+        data_dir: parent storage directory; shard ``k`` owns
+            ``data_dir/shard<k>`` (WAL + snapshots).
+        router: the vertex partitioning (``router.shards`` groups over
+            ``0..router.n-1``).
+        config: per-shard primary :class:`ServiceConfig` (shared).
+        followers: replicas attached to *each* shard group.
+        follower_retry: optional per-follower transient-fault retry.
+        query: keyword options for each group's :class:`QueryService`
+            (e.g. ``{"on_lag": "wait"}``); default policies otherwise.
+        parallel: fan writes out to touched shards on a thread pool
+            instead of sequentially.  Same WAL bytes either way (each
+            shard's round is independent); it only overlaps the fsyncs.
+        cost: shared :class:`CostModel`; routing is charged to the
+            ``shard-route`` phase, contraction to ``boundary-refresh``.
+    """
+
+    #: The gateway (and anything else duck-typing the serving tier)
+    #: branches on this instead of importing the class.
+    is_sharded = True
+
+    def __init__(
+        self,
+        factory: Callable[[], ShardMember],
+        data_dir: str | pathlib.Path,
+        router: ShardRouter,
+        config: ServiceConfig | None = None,
+        followers: int = 0,
+        follower_retry: RetryPolicy | None = None,
+        query: dict | None = None,
+        parallel: bool = False,
+        cost: CostModel | None = None,
+    ) -> None:
+        self.router = router
+        self.shards = router.shards
+        self.n = router.n
+        self.cost = cost if cost is not None else CostModel()
+        self.clock = WindowClock()
+        self.data_dir = pathlib.Path(data_dir)
+        self.groups: list[ReplicatedService] = [
+            ReplicatedService(
+                factory,
+                self.data_dir / f"shard{k}",
+                config,
+                followers=followers,
+                follower_retry=follower_retry,
+            )
+            for k in range(self.shards)
+        ]
+        self._queries: list[QueryService] = [
+            QueryService(g, **(query or {})) for g in self.groups
+        ]
+        self.coordinator = BoundaryCoordinator(
+            self.n, self.shards, cost=self.cost
+        )
+        # The structure class is shared by construction (one factory), so
+        # probe shard 0: the lazy Theorem 5.1 member has no component
+        # counter, and the sharded tier must refuse ``components`` the
+        # same way the unsharded QueryService does.
+        inner = self.groups[0].primary.structure.inner
+        self._eager = hasattr(inner, "num_components")
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=self.shards, thread_name_prefix="repro-shard"
+            )
+            if parallel and self.shards > 1
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def write(
+        self, edges: Sequence[Sequence] = (), expire: int = 0
+    ) -> list[int]:
+        """Commit one global round; returns the per-shard LSN vector.
+
+        Every edge gets its global ``tau``, lands on its owner shard's
+        WAL, and -- when the round expires -- every shard's round also
+        carries the effective global window advance.  The vector entry
+        for an untouched shard is its current newest committed LSN, so
+        the whole vector is always a valid read-your-writes token.
+        """
+        m = get_metrics()
+        with self.cost.phase("shard-route", items=len(edges)):
+            taus = self.clock.assign(len(edges))
+            rows = [
+                (int(u), int(v), tau) for (u, v), tau in zip(edges, taus)
+            ]
+            cross = sum(1 for u, v, _ in rows if self.router.is_cut(u, v))
+            split = self.router.split(rows)
+        old_tw = self.clock.tw
+        if expire:
+            self.clock.expire(expire)
+        eff = self.clock.tw - old_tw
+        per_shard: list = [None] * self.shards
+        for k in range(self.shards):
+            ops = []
+            if k in split:
+                ops.append((OP_INSERT, split[k]))
+            if eff:
+                ops.append((OP_EXPIRE, eff))
+            per_shard[k] = ops
+        touched = [k for k in range(self.shards) if per_shard[k]]
+        if self._pool is not None and len(touched) > 1:
+            futures = {
+                k: self._pool.submit(self.groups[k].write_ops, per_shard[k])
+                for k in touched
+            }
+            lsns = {k: fut.result() for k, fut in futures.items()}
+        else:
+            lsns = {k: self.groups[k].write_ops(per_shard[k]) for k in touched}
+        vector = [
+            lsns.get(k, self.groups[k].primary.next_lsn - 1)
+            for k in range(self.shards)
+        ]
+        m.counter("shard.writes").inc()
+        m.counter("shard.write_edges").inc(len(rows))
+        m.counter("shard.cross_edges").inc(cross)
+        m.histogram("shard.fanout").observe(len(touched))
+        return vector
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def _check_vector(self, at_least: Sequence[int] | None) -> list[int]:
+        if at_least is None:
+            return [-1] * self.shards
+        vec = [int(x) for x in at_least]
+        if len(vec) != self.shards:
+            raise ValueError(
+                f"token vector has {len(vec)} entries for "
+                f"{self.shards} shards"
+            )
+        return vec
+
+    def _refresh(self, shard: int, token: int) -> int:
+        """Bring ``shard``'s cached forest summary up to its durable tip.
+
+        Returns the LSN the installed summary reflects.  The read goes
+        through the group's :class:`QueryService` with a token demanding
+        the durable tip (so it lands on a caught-up replica -- or the
+        primary), which is also what makes the cache effective: once the
+        version equals the tip, a quiet shard skips this entirely.
+        """
+        tip = self.groups[shard].primary.next_lsn
+        if self.coordinator.version(shard) >= max(tip, token + 1):
+            return self.coordinator.version(shard)
+        res = self._queries[shard].run(
+            [("forest",)], at_least=max(token, tip - 1)
+        )
+        self.coordinator.update(shard, res.answers[0], res.lsn)
+        return res.lsn
+
+    def query(
+        self,
+        queries: Sequence[tuple],
+        at_least: Sequence[int] | None = None,
+        max_staleness: int | None = None,
+    ) -> ShardReadResult:
+        """Answer one batch globally; ``at_least`` is a length-K vector.
+
+        Supported kinds: ``connected``, ``path_max``, ``components``,
+        ``window_size`` (see :data:`SHARDED_KINDS`).  ``max_staleness``
+        bounds every component read the same way it bounds an unsharded
+        one.
+        """
+        m = get_metrics()
+        queries = [tuple(q) for q in queries]
+        tokens = self._check_vector(at_least)
+        if max_staleness is not None:
+            if max_staleness < 0:
+                raise ValueError("max_staleness must be >= 0")
+            tokens = [
+                max(t, self.groups[k].primary.next_lsn - max_staleness - 1)
+                for k, t in enumerate(tokens)
+            ]
+        answers: list = [None] * len(queries)
+        served: dict[int, int] = {}
+        fast: dict[int, list[tuple[int, int, int]]] = {}
+        deferred: list[tuple[int, tuple]] = []
+        for i, q in enumerate(queries):
+            kind = q[0]
+            if kind == "window_size":
+                # The facade owns the global clock; identical arithmetic
+                # to the unsharded structure's property.
+                answers[i] = self.clock.window_size
+            elif kind == "components":
+                if not self._eager:
+                    raise UnsupportedQuery(
+                        "the lazy structure does not track components"
+                    )
+                deferred.append((i, q))
+            elif kind in ("connected", "path_max"):
+                u, v = int(q[1]), int(q[2])
+                if kind == "connected" and not self.router.is_cut(u, v):
+                    fast.setdefault(self.router.shard_of(u), []).append(
+                        (i, u, v)
+                    )
+                else:
+                    deferred.append((i, (kind, u, v)))
+            else:
+                raise UnsupportedQuery(
+                    f"sharded reads cannot answer {kind!r} "
+                    f"(supported: {', '.join(SHARDED_KINDS)})"
+                )
+        # Fast path: same-home ``connected`` pairs ride one shard-local
+        # batched sweep each.  True is final (a local path is a global
+        # path); False defers to the coordinator -- the pair may connect
+        # through other shards.
+        stale = False
+        for shard, items in fast.items():
+            tip = self.groups[shard].primary.next_lsn
+            res = self._queries[shard].run(
+                [("connected", u, v) for _, u, v in items],
+                at_least=max(tokens[shard], tip - 1),
+            )
+            served[shard] = max(served.get(shard, -1), res.lsn)
+            stale = stale or res.stale
+            for (i, u, v), ans in zip(items, res.answers):
+                if ans:
+                    answers[i] = True
+                    m.counter("shard.fastpath_hits").inc()
+                else:
+                    deferred.append((i, ("connected", u, v)))
+                    m.counter("shard.fastpath_misses").inc()
+        if deferred:
+            m.counter("shard.global_queries").inc(len(deferred))
+            for k in range(self.shards):
+                served[k] = max(served.get(k, -1), self._refresh(k, tokens[k]))
+            coord = self.coordinator
+            for i, q in deferred:
+                if q[0] == "components":
+                    answers[i] = coord.components()
+                elif self._eager:
+                    answers[i] = coord.connected(q[1], q[2]) if (
+                        q[0] == "connected"
+                    ) else coord.path_max(q[1], q[2])
+                elif q[0] == "connected":
+                    answers[i] = coord.connected_lazy(
+                        q[1], q[2], self.clock.tw
+                    )
+                else:
+                    answers[i] = coord.path_max(q[1], q[2])
+        vector = [served.get(k, -1) for k in range(self.shards)]
+        m.counter("query.batches").inc()
+        m.counter("query.reads").inc(len(queries))
+        return ShardReadResult(
+            answers=answers, vector=vector, stale=stale
+        )
+
+    # ------------------------------------------------------------------
+    # Topology and failover
+    # ------------------------------------------------------------------
+
+    @property
+    def epochs(self) -> list[int]:
+        """Per-shard fencing epochs (the write-response metadata)."""
+        return [g.epoch for g in self.groups]
+
+    def query_service(self, shard: int) -> QueryService:
+        """The read router of one shard group (tests, gateway health)."""
+        return self._queries[shard]
+
+    def promote(
+        self, shard: int, follower: Any | None = None, catch_up: bool = True
+    ):
+        """Fail one shard group over; returns the fenced zombie primary.
+
+        ``follower`` defaults to the group's most caught-up live replica.
+        The coordinator's cached summary for the shard is invalidated:
+        promotion without catch-up discards rounds, so the new durable
+        tip may be *behind* the cached version and the version check
+        alone would keep serving the stale forest forever.
+        """
+        group = self.groups[shard]
+        if follower is None:
+            live = [f for f in group.followers if f.alive]
+            if not live:
+                raise ValueError(f"shard {shard} has no live follower")
+            follower = max(live, key=lambda f: f.replayed_lsn)
+        zombie = group.promote(follower, catch_up=catch_up)
+        self.coordinator.invalidate(shard)
+        get_metrics().counter("shard.promotions").inc()
+        return zombie
+
+    # ------------------------------------------------------------------
+    # Replication plumbing (fans out to every group)
+    # ------------------------------------------------------------------
+
+    def start_replication(
+        self, interval: float = 0.002, max_records: int | None = None
+    ) -> None:
+        """Start background tailing threads on every shard group."""
+        for g in self.groups:
+            g.start_replication(interval, max_records)
+
+    def stop_replication(self) -> None:
+        """Stop every group's tailing threads."""
+        for g in self.groups:
+            g.stop_replication()
+
+    def poll(self) -> dict[int, dict[int, int]]:
+        """Catch every group's followers up; ``{shard: {fid: lsn}}``."""
+        return {k: g.poll() for k, g in enumerate(self.groups)}
+
+    def lag(self) -> dict[int, dict[int, int]]:
+        """Per-shard follower lag maps."""
+        return {k: g.lag() for k, g in enumerate(self.groups)}
+
+    def describe(self) -> dict:
+        """JSON-ready fleet summary (the gateway health endpoint)."""
+        return {
+            "router": self.router.describe(),
+            "boundary": self.coordinator.describe(),
+            "clock": {"t": self.clock.t, "tw": self.clock.tw},
+            "groups": [
+                {
+                    "shard": k,
+                    "epoch": g.epoch,
+                    "next_lsn": g.primary.next_lsn,
+                    "followers": [
+                        {
+                            "fid": f.fid,
+                            "alive": f.alive,
+                            "replayed_lsn": f.replayed_lsn,
+                        }
+                        for f in g.followers
+                    ],
+                }
+                for k, g in enumerate(self.groups)
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop replication and close every shard primary (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for g in self.groups:
+            g.close()
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
